@@ -1,0 +1,17 @@
+"""Design ablations: rules vs fast path; key-local delta vs full put."""
+
+from repro.bench.harness import get_experiment
+
+
+def test_ablation(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: get_experiment("ablation").run(num_tasks=1000, writes=20),
+        rounds=1,
+        iterations=1,
+    )
+    by_case = {}
+    for case, variant, ms in result.rows:
+        by_case.setdefault(case, {})[variant] = ms
+    writes = by_case[next(k for k in by_case if "inserts" in k)]
+    assert writes["key-local delta"] <= writes["whole-state lens put"]
+    print_result(result)

@@ -1,0 +1,24 @@
+"""Section 8.1: delta-code generation latency (<1 s in the paper)."""
+
+from repro.bench.harness import get_experiment
+from repro.core.engine import InVerDa
+from repro.workloads.tasky import DO_SCRIPT, TASKY_INITIAL_SCRIPT
+
+
+def test_codegen_evolution_latency(benchmark):
+    def evolve():
+        engine = InVerDa()
+        engine.execute(TASKY_INITIAL_SCRIPT)
+        engine.execute(DO_SCRIPT)
+        return engine
+
+    engine = benchmark(evolve)
+    assert "Do!" in engine.version_names()
+
+
+def test_codegen_rows(print_result):
+    result = get_experiment("codegen").run(num_tasks=2000)
+    # The paper's headline: generation is fast (<1 s per operation).
+    for operation, ms, _paper in result.rows:
+        assert ms < 1000, operation
+    print_result(result)

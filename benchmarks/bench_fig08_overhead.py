@@ -1,0 +1,46 @@
+"""Figure 8: generated vs handwritten delta code (timed unit: one read of
+each schema version under the evolved materialization)."""
+
+import pytest
+
+from repro.bench.harness import get_experiment
+from repro.sqlgen.handwritten import handwritten_tasky
+from repro.workloads.tasky import build_tasky
+
+N = 2000
+
+
+@pytest.fixture(scope="module")
+def evolved_scenario():
+    scenario = build_tasky(N)
+    scenario.materialize("TasKy2")
+    return scenario
+
+
+def test_fig8_read_tasky_generated(benchmark, evolved_scenario):
+    rows = benchmark(lambda: evolved_scenario.tasky.select("Task"))
+    assert len(rows) == N
+
+
+def test_fig8_read_tasky2_generated(benchmark, evolved_scenario):
+    rows = benchmark(lambda: evolved_scenario.tasky2.select("Task"))
+    assert len(rows) == N
+
+
+def test_fig8_read_tasky_handwritten(benchmark):
+    baseline = handwritten_tasky(N, materialization="evolved")
+    rows = benchmark(baseline.read_tasky)
+    assert len(rows) == N
+
+
+def test_fig8_writes_generated(benchmark, evolved_scenario):
+    def insert_one():
+        evolved_scenario.tasky.insert(
+            "Task", {"author": "Zed", "task": "bench", "prio": 2}
+        )
+
+    benchmark(insert_one)
+
+
+def test_fig8_rows(print_result):
+    print_result(get_experiment("fig8").run(num_tasks=N, writes=20))

@@ -1,0 +1,15 @@
+"""Figure 9: fixed vs flexible materialization under shifting adoption."""
+
+from repro.bench.harness import get_experiment
+
+
+def test_fig9(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig9").run(num_tasks=800, slices=8, ops_per_slice=8),
+        rounds=1,
+        iterations=1,
+    )
+    by_strategy = {row[0]: row[2] for row in result.rows}
+    # The flexible strategy must not lose to the worse fixed choice.
+    assert by_strategy["flexible"] <= max(by_strategy["fixed"], by_strategy["fixed-evolved"])
+    print_result(result)

@@ -1,0 +1,13 @@
+"""Figure 10: Do!→TasKy2 adoption with three fixed materializations."""
+
+from repro.bench.harness import get_experiment
+
+
+def test_fig10(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig10").run(num_tasks=800, slices=8, ops_per_slice=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 4
+    print_result(result)

@@ -1,0 +1,13 @@
+"""Figure 11: every version x every valid materialization x three mixes."""
+
+from repro.bench.harness import get_experiment
+
+
+def test_fig11(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig11").run(num_tasks=600, ops=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 15  # 3 mixes x 5 materializations
+    print_result(result)

@@ -1,0 +1,13 @@
+"""Figure 12: Wikimedia query times under three materializations."""
+
+from repro.bench.harness import get_experiment
+
+
+def test_fig12(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig12").run(scale=0.002, versions=60),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    print_result(result)

@@ -1,0 +1,19 @@
+"""Figure 13: two-SMO chain scaling, ADD COLUMN as the second SMO."""
+
+from repro.bench.harness import get_experiment
+from repro.workloads.micro import build_two_smo_scenario
+
+
+def test_fig13_single_chain_read(benchmark):
+    engine = build_two_smo_scenario("split", "add_column", rows=1000)
+    connection = engine.connect("v3")
+    rows = benchmark(lambda: connection.select("R"))
+    assert rows
+
+
+def test_fig13_rows(print_result):
+    result = get_experiment("fig13").run(sizes=(300, 600))
+    # Shape check: two hops cost at least as much as the local read.
+    for _first, _rows, local, _one, two_hops, _calc in result.rows:
+        assert two_hops >= local * 0.5
+    print_result(result)

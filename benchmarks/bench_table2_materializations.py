@@ -1,0 +1,16 @@
+"""Table 2: enumerate the valid materialization schemas of TasKy."""
+
+from repro.bench.harness import get_experiment
+from repro.catalog.materialization import enumerate_valid_materializations
+from repro.workloads.tasky import build_tasky
+
+
+def test_table2(benchmark, print_result):
+    scenario = build_tasky(0)
+
+    def enumerate_schemas():
+        return enumerate_valid_materializations(scenario.engine.genealogy)
+
+    schemas = benchmark(enumerate_schemas)
+    assert len(schemas) == 5  # the paper's count
+    print_result(get_experiment("table2").run())

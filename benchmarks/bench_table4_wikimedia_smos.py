@@ -1,0 +1,13 @@
+"""Table 4: the Wikimedia evolution's SMO histogram."""
+
+from repro.bench.harness import get_experiment
+from repro.workloads.wikimedia import TABLE4_HISTOGRAM, build_wikimedia
+
+
+def test_table4(benchmark, print_result):
+    scenario = benchmark.pedantic(
+        lambda: build_wikimedia(scale=0.001, versions=171), rounds=1, iterations=1
+    )
+    assert scenario.smo_histogram() == TABLE4_HISTOGRAM
+    assert len(scenario.version_names) == 171
+    print_result(get_experiment("table4").run())

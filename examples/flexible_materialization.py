@@ -1,0 +1,52 @@
+"""The DBA story (Sections 7 and 8.3): adapt the physical table schema to a
+shifting workload without touching a single line of application code.
+
+Run with:  python examples/flexible_materialization.py
+"""
+
+import time
+
+from repro.catalog.materialization import (
+    enumerate_valid_materializations,
+    physical_table_versions,
+)
+from repro.workloads.tasky import build_tasky
+
+
+def timed_read(connection, table: str, repeat: int = 5) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        connection.select(table)
+    return (time.perf_counter() - start) / repeat * 1000
+
+
+def main() -> None:
+    scenario = build_tasky(5000)
+    engine = scenario.engine
+
+    print("All valid materialization schemas of the TasKy genealogy (Table 2):")
+    for schema in enumerate_valid_materializations(engine.genealogy):
+        smos = sorted(smo.smo_type for smo in schema)
+        physical = [tv.name for tv in physical_table_versions(engine.genealogy, schema)]
+        print(f"  M={smos!r:45s} -> P={physical}")
+
+    print("\nRead latency per version under each full-version materialization:")
+    for target in ["TasKy", "Do!", "TasKy2"]:
+        scenario.materialize(target)
+        tasky_ms = timed_read(scenario.tasky, "Task")
+        do_ms = timed_read(scenario.do, "Todo")
+        tasky2_ms = timed_read(scenario.tasky2, "Task")
+        print(
+            f"  materialized={target:7s} read TasKy={tasky_ms:7.2f}ms  "
+            f"Do!={do_ms:7.2f}ms  TasKy2={tasky2_ms:7.2f}ms"
+        )
+
+    print(
+        "\nEach version is fastest when its own table versions are physical —"
+        "\nand switching costs one MATERIALIZE statement, not a rewrite of"
+        "\nhand-maintained delta code."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: the paper's TasKy example end to end (Section 2, Figure 1).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import InVerDa
+
+
+def main() -> None:
+    db = InVerDa()
+
+    # Release 1: the TasKy desktop app goes live.
+    db.execute(
+        """
+        CREATE SCHEMA VERSION TasKy WITH
+        CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);
+        """
+    )
+    tasky = db.connect("TasKy")
+    for author, task, prio in [
+        ("Ann", "Organize party", 3),
+        ("Ben", "Learn for exam", 2),
+        ("Ann", "Write paper", 1),
+        ("Ben", "Clean room", 1),
+    ]:
+        tasky.insert("Task", {"author": author, "task": task, "prio": prio})
+
+    # A third-party phone app needs its own schema version — one BiDEL
+    # script makes it immediately readable AND writable.
+    db.execute(
+        """
+        CREATE SCHEMA VERSION Do! FROM TasKy WITH
+        SPLIT TABLE Task INTO Todo WITH prio = 1;
+        DROP COLUMN prio FROM Todo DEFAULT 1;
+        """
+    )
+
+    # Release 2 normalizes the schema; TasKy stays alive for old clients.
+    db.execute(
+        """
+        CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+        DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author;
+        RENAME COLUMN author IN Author TO name;
+        """
+    )
+
+    do = db.connect("Do!")
+    tasky2 = db.connect("TasKy2")
+
+    print("Do!.Todo (urgent tasks only):")
+    for row in do.select("Todo", order_by="task"):
+        print("  ", row)
+
+    print("TasKy2.Author (normalized, ids generated):")
+    for row in tasky2.select("Author", order_by="name"):
+        print("  ", row)
+
+    # Writes through ANY version are visible in ALL versions.
+    do.insert("Todo", {"author": "Ann", "task": "Buy milk"})
+    print("\nAfter inserting through the phone app:")
+    print("  TasKy sees:", [r["task"] for r in tasky.select("Task", order_by="task")])
+    print("  TasKy2 author count (Ann reused):", tasky2.count("Author"))
+
+    # The DBA moves the physical data with one line — no developer involved.
+    print("\nPhysical tables before:", db.physical_tables())
+    db.execute("MATERIALIZE 'TasKy2';")
+    print("Physical tables after: ", db.physical_tables())
+    print("All versions still answer identically:")
+    print("  Do! still sees:", [r["task"] for r in do.select("Todo", order_by="task")])
+
+
+if __name__ == "__main__":
+    main()

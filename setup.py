@@ -1,0 +1,5 @@
+"""Legacy setup shim so editable installs work without network access."""
+
+from setuptools import setup
+
+setup()

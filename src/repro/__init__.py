@@ -1,0 +1,30 @@
+"""repro — reproduction of "Living in Parallel Realities: Co-Existing
+Schema Versions with a Bidirectional Database Evolution Language"
+(Herrmann, Voigt, Behrend, Rausch, Lehner; SIGMOD 2017).
+
+Public entry points:
+
+- :class:`InVerDa` — the engine: execute BiDEL scripts, connect to any
+  schema version, and migrate the physical table schema with one call.
+- :func:`parse_script` / :func:`parse_smo` — the BiDEL parser.
+- :mod:`repro.verification` — formal (symbolic) and runtime
+  bidirectionality checks.
+- :mod:`repro.workloads` — TasKy, Wikimedia, and micro-benchmark scenarios.
+- :mod:`repro.bench` — the harness regenerating every table and figure of
+  the paper's evaluation (``python -m repro.bench --list``).
+"""
+
+from repro.bidel import parse_script, parse_smo
+from repro.core import InVerDa, VersionConnection
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InVerDa",
+    "VersionConnection",
+    "parse_script",
+    "parse_smo",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run ``python -m repro.bench --list`` for the experiment catalog, or
+``python -m repro.bench fig8`` (etc.) to print one artifact's rows. The
+pytest-benchmark wrappers in ``benchmarks/`` call the same runners.
+"""
+
+from repro.bench.harness import Experiment, ExperimentResult, REGISTRY, get_experiment
+
+__all__ = ["Experiment", "ExperimentResult", "REGISTRY", "get_experiment"]

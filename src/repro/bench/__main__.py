@@ -1,0 +1,42 @@
+"""CLI: ``python -m repro.bench <experiment> [--paper-scale]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import all_experiments, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="*", help="experiment names (or 'all')")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run with paper-sized workloads (slow; defaults are scaled down)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for experiment in all_experiments():
+            print(f"{experiment.name:12s} {experiment.paper_artifact:10s} {experiment.title}")
+        return 0
+
+    names = args.experiment
+    if names == ["all"]:
+        names = [experiment.name for experiment in all_experiments()]
+    for name in names:
+        experiment = get_experiment(name)
+        result = experiment.run(paper_scale=args.paper_scale)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Experiment modules; importing this package registers all experiments."""
+
+from repro.bench.experiments import (  # noqa: F401
+    ablation,
+    codegen,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+    table3,
+    table4,
+)

@@ -1,0 +1,233 @@
+"""AST nodes for BiDEL statements and SMOs (grammar of Figure 2).
+
+Every node can render itself back to BiDEL text (``unparse``), which the
+test suite uses for parse→unparse→parse round trips and the Table-3 code
+metrics use for counting BiDEL script sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.expr.ast import Expression
+from repro.relational.types import DataType
+
+# ---------------------------------------------------------------------------
+# SMOs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    dtype: DataType = DataType.ANY
+
+    def unparse(self) -> str:
+        if self.dtype is DataType.ANY:
+            return self.name
+        return f"{self.name} {self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+    def unparse(self) -> str:
+        cols = ", ".join(column.unparse() for column in self.columns)
+        return f"CREATE TABLE {self.table}({cols})"
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+
+    def unparse(self) -> str:
+        return f"DROP TABLE {self.table}"
+
+
+@dataclass(frozen=True)
+class RenameTable:
+    table: str
+    new_name: str
+
+    def unparse(self) -> str:
+        return f"RENAME TABLE {self.table} INTO {self.new_name}"
+
+
+@dataclass(frozen=True)
+class RenameColumn:
+    table: str
+    column: str
+    new_name: str
+
+    def unparse(self) -> str:
+        return f"RENAME COLUMN {self.column} IN {self.table} TO {self.new_name}"
+
+
+@dataclass(frozen=True)
+class AddColumn:
+    table: str
+    column: str
+    function: Expression
+    dtype: DataType = DataType.ANY
+
+    def unparse(self) -> str:
+        return f"ADD COLUMN {self.column} AS {self.function.to_sql()} INTO {self.table}"
+
+
+@dataclass(frozen=True)
+class DropColumn:
+    table: str
+    column: str
+    default: Expression
+
+    def unparse(self) -> str:
+        return f"DROP COLUMN {self.column} FROM {self.table} DEFAULT {self.default.to_sql()}"
+
+
+@dataclass(frozen=True)
+class JoinKind:
+    """The ON clause of DECOMPOSE/JOIN: PK, FK <column>, or a condition."""
+
+    method: str  # 'PK' | 'FK' | 'COND'
+    fk_column: str | None = None
+    condition: Expression | None = None
+
+    def unparse(self) -> str:
+        if self.method == "PK":
+            return "PK"
+        if self.method == "FK":
+            return f"FK {self.fk_column}"
+        assert self.condition is not None
+        return self.condition.to_sql()
+
+
+@dataclass(frozen=True)
+class Decompose:
+    table: str
+    first_table: str
+    first_columns: tuple[str, ...]
+    second_table: str | None = None
+    second_columns: tuple[str, ...] = ()
+    kind: JoinKind = field(default_factory=lambda: JoinKind("PK"))
+
+    def unparse(self) -> str:
+        text = (
+            f"DECOMPOSE TABLE {self.table} INTO "
+            f"{self.first_table}({', '.join(self.first_columns)})"
+        )
+        if self.second_table is not None:
+            text += f", {self.second_table}({', '.join(self.second_columns)})"
+            text += f" ON {self.kind.unparse()}"
+        return text
+
+
+@dataclass(frozen=True)
+class Join:
+    first_table: str
+    second_table: str
+    target: str
+    kind: JoinKind
+    outer: bool = False
+
+    def unparse(self) -> str:
+        prefix = "OUTER JOIN" if self.outer else "JOIN"
+        return (
+            f"{prefix} TABLE {self.first_table}, {self.second_table} "
+            f"INTO {self.target} ON {self.kind.unparse()}"
+        )
+
+
+@dataclass(frozen=True)
+class Split:
+    table: str
+    first_table: str
+    first_condition: Expression
+    second_table: str | None = None
+    second_condition: Expression | None = None
+
+    def unparse(self) -> str:
+        text = (
+            f"SPLIT TABLE {self.table} INTO {self.first_table} "
+            f"WITH {self.first_condition.to_sql()}"
+        )
+        if self.second_table is not None:
+            assert self.second_condition is not None
+            text += f", {self.second_table} WITH {self.second_condition.to_sql()}"
+        return text
+
+
+@dataclass(frozen=True)
+class Merge:
+    first_table: str
+    first_condition: Expression
+    second_table: str
+    second_condition: Expression
+    target: str
+
+    def unparse(self) -> str:
+        return (
+            f"MERGE TABLE {self.first_table} ({self.first_condition.to_sql()}), "
+            f"{self.second_table} ({self.second_condition.to_sql()}) INTO {self.target}"
+        )
+
+
+SmoNode = Union[
+    CreateTable,
+    DropTable,
+    RenameTable,
+    RenameColumn,
+    AddColumn,
+    DropColumn,
+    Decompose,
+    Join,
+    Split,
+    Merge,
+]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateSchemaVersion:
+    name: str
+    source: str | None
+    smos: tuple[SmoNode, ...]
+
+    def unparse(self) -> str:
+        header = f"CREATE SCHEMA VERSION {self.name}"
+        if self.source is not None:
+            header += f" FROM {self.source}"
+        body = ";\n".join(smo.unparse() for smo in self.smos)
+        return f"{header} WITH\n{body};"
+
+
+@dataclass(frozen=True)
+class DropSchemaVersion:
+    name: str
+
+    def unparse(self) -> str:
+        return f"DROP SCHEMA VERSION {self.name};"
+
+
+@dataclass(frozen=True)
+class Materialize:
+    """``MATERIALIZE 'TasKy2';`` or ``MATERIALIZE 'TasKy2.task', ...;``.
+
+    Each target is either a schema version name (materialize all its table
+    versions) or a ``version.table`` pair.
+    """
+
+    targets: tuple[str, ...]
+
+    def unparse(self) -> str:
+        rendered = ", ".join(f"'{target}'" for target in self.targets)
+        return f"MATERIALIZE {rendered};"
+
+
+Statement = Union[CreateSchemaVersion, DropSchemaVersion, Materialize]

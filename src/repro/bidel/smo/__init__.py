@@ -1,0 +1,6 @@
+"""Per-SMO semantics: schema transforms, γ mappings, delta propagation."""
+
+from repro.bidel.smo.base import MapContext, SmoSemantics, TableChange
+from repro.bidel.smo.registry import build_semantics
+
+__all__ = ["SmoSemantics", "MapContext", "TableChange", "build_semantics"]

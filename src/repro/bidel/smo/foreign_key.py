@@ -1,0 +1,554 @@
+"""DECOMPOSE / OUTER JOIN ON FOREIGN KEY (Appendix B.3).
+
+``DECOMPOSE TABLE R INTO S(A), T(B) ON FK fk`` eliminates duplicates of the
+``B`` part into a new table ``T`` with generated identifiers and adds a
+foreign-key column ``fk`` to ``S``. The identity-generating function
+``id_T(B)`` is a sequence; the auxiliary table ``ID_R`` (key of ``R`` →
+generated identifier) guarantees that the same identifier is reused for the
+same data across reads (repeatable reads).
+
+Design note (documented in DESIGN.md): the paper stores ``ID_R`` on the
+source side only; we keep it maintained under both materializations — the
+same choice the paper itself makes for the condition variants ("the
+auxiliary table ID stores the generated identifiers independently of the
+chosen materialization", B.4) — because it makes identifier stability
+independent of read order.
+
+Conventions: the target table ``T`` exposes its generated identifier as a
+visible first column named ``id`` (Figure 1 shows these identifiers as
+data); its row key equals that identifier.
+"""
+
+from __future__ import annotations
+
+from repro.bidel.ast import Decompose, Join
+from repro.bidel.smo.base import (
+    KeyedRows,
+    MapContext,
+    SideState,
+    SmoSemantics,
+    TableChange,
+    is_all_null,
+    require,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Key, Row
+from repro.relational.types import DataType
+
+ID_COLUMN = "id"
+SEQUENCE_ROLE = "id_T"
+
+
+class _FkLens:
+    """Shared machinery for the FK decompose lens and its inverse."""
+
+    def __init__(
+        self,
+        wide_schema: TableSchema,
+        s_columns: tuple[str, ...],
+        t_columns: tuple[str, ...],
+        fk_column: str,
+    ):
+        self.wide_schema = wide_schema
+        self.s_indices = [wide_schema.index_of(c) for c in s_columns]
+        self.t_indices = [wide_schema.index_of(c) for c in t_columns]
+        self.fk_column = fk_column
+        self.s_columns = s_columns
+        self.t_columns = t_columns
+
+    def split_row(self, row: Row) -> tuple[Row, Row]:
+        return (
+            tuple(row[i] for i in self.s_indices),
+            tuple(row[i] for i in self.t_indices),
+        )
+
+    def combine(self, a_part: Row | None, b_part: Row | None) -> Row:
+        values: list = [None] * self.wide_schema.arity
+        if a_part is not None:
+            for value, index in zip(a_part, self.s_indices):
+                values[index] = value
+        if b_part is not None:
+            for value, index in zip(b_part, self.t_indices):
+                values[index] = value
+        return tuple(values)
+
+    # -- γ_tgt: R (+ID_R, +previous T) → S, T (Rules 141–146) ----------------
+
+    def forward(self, ctx: MapContext) -> SideState:
+        wide = ctx.read("R")
+        id_map = {key: row[0] for key, row in ctx.read("ID").items()}
+        old_t = ctx.read("T")
+
+        payload_to_id: dict[Row, Key] = {}
+        for t_key, t_row in old_t.items():
+            payload_to_id.setdefault(t_row[1:], t_key)  # strip the id column
+
+        t_rows: KeyedRows = {}
+        s_rows: KeyedRows = {}
+        new_ids: KeyedRows = {}
+
+        # First pass (Rule 141/143): rows with a recorded identifier keep
+        # it; their payloads seed the reuse index for the ¬T_o(_, B) check.
+        pending: list[tuple[Key, Row, Row]] = []
+        for key, row in wide.items():
+            a_part, b_part = self.split_row(row)
+            fk = id_map.get(key, _MISSING)
+            if fk is _MISSING:
+                pending.append((key, a_part, b_part))
+                continue
+            if fk is not None and not is_all_null(b_part):
+                t_rows[fk] = (fk, *b_part)
+                payload_to_id.setdefault(b_part, fk)
+            s_rows[key] = (*a_part, fk)
+
+        # Second pass (Rule 142/146): assign or reuse identifiers for rows
+        # not seen before.
+        for key, a_part, b_part in pending:
+            if is_all_null(b_part):
+                fk = None
+            else:
+                fk = payload_to_id.get(b_part)
+                if fk is None:
+                    fk = ctx.allocate_id(SEQUENCE_ROLE)
+                    payload_to_id[b_part] = fk
+            new_ids[key] = (fk,)
+            if fk is not None:
+                t_rows[fk] = (fk, *b_part)
+            s_rows[key] = (*a_part, fk)
+        result: SideState = {"S": s_rows, "T": t_rows}
+        if new_ids:
+            merged = dict(ctx.read("ID"))
+            merged.update(new_ids)
+            result["ID"] = merged
+        else:
+            result["ID"] = dict(ctx.read("ID"))
+        return result
+
+    # -- γ_src: S, T → R (+ID_R) (Rules 147–152) ------------------------------
+
+    def backward(self, ctx: MapContext) -> SideState:
+        s_rows = ctx.read("S")
+        t_rows = ctx.read("T")
+        wide: KeyedRows = {}
+        id_map: KeyedRows = {}
+        referenced: set[Key] = set()
+        for key, s_row in s_rows.items():
+            a_part, fk = s_row[:-1], s_row[-1]
+            t_row = t_rows.get(fk) if fk is not None else None
+            if t_row is not None:
+                referenced.add(fk)
+                wide[key] = self.combine(a_part, t_row[1:])
+                id_map[key] = (fk,)
+            else:
+                # Rule 148: dangling or null foreign keys keep the A part.
+                wide[key] = self.combine(a_part, None)
+                id_map[key] = (None,)
+        for t_key, t_row in t_rows.items():
+            if t_key not in referenced:
+                # Rule 149/152: unreferenced T rows surface keyed by their id.
+                wide.setdefault(t_key, self.combine(None, t_row[1:]))
+                id_map.setdefault(t_key, (t_key,))
+        return {"R": wide, "ID": id_map}
+
+
+_MISSING = object()
+
+
+class _FkCache:
+    """Bidirectional payload↔identifier index for one FK decomposition.
+
+    Mirrors the content of the target table ``T``; kept incrementally by
+    the write paths so single-row writes stay key-local instead of
+    re-deriving whole extents."""
+
+    def __init__(self) -> None:
+        self.by_payload: dict[Row, Key] = {}
+        self.by_fk: dict[Key, Row] = {}
+
+    def put(self, fk: Key, payload: Row) -> None:
+        old = self.by_fk.get(fk)
+        if old is not None and self.by_payload.get(old) == fk:
+            del self.by_payload[old]
+        self.by_fk[fk] = payload
+        self.by_payload.setdefault(payload, fk)
+
+    def drop(self, fk: Key) -> None:
+        payload = self.by_fk.pop(fk, None)
+        if payload is not None and self.by_payload.get(payload) == fk:
+            del self.by_payload[payload]
+
+
+class DecomposeFkSemantics(SmoSemantics):
+    """``DECOMPOSE TABLE R INTO S(A), T(B) ON FK fk``."""
+
+    node: Decompose
+
+    source_roles = ("R",)
+    target_roles = ("S", "T")
+
+    def __init__(self, node: Decompose, source_schemas):
+        super().__init__(node, source_schemas)
+        self._lens = _FkLens(
+            source_schemas[0],
+            node.first_columns,
+            node.second_columns,
+            node.kind.fk_column or "fk",
+        )
+        self._cache: _FkCache | None = None
+
+    def invalidate_caches(self) -> None:
+        self._cache = None
+
+    def _ensure_cache(self, ctx: MapContext) -> _FkCache:
+        if self._cache is not None:
+            return self._cache
+        cache = _FkCache()
+        stored_t = ctx.read("T")
+        if stored_t:
+            for fk, t_row in stored_t.items():
+                cache.put(fk, t_row[1:])
+        else:
+            id_rows = ctx.read("ID")
+            for r_key, wide_row in ctx.read("R").items():
+                entry = id_rows.get(r_key)
+                fk = entry[0] if entry else None
+                if fk is None:
+                    continue
+                _, b_part = self._lens.split_row(wide_row)
+                cache.put(fk, b_part)
+        self._cache = cache
+        return cache
+
+    def maintain_shared_aux(self, side, changes, ctx):
+        """Key-local ID upkeep after direct writes to physical tables."""
+        cache = self._ensure_cache(ctx)
+        id_out = TableChange()
+        if side == "source":
+            change = changes.get("R")
+            if change is None or change.empty:
+                return {}
+            id_rows = ctx.read_keys("ID", change.keys())
+            for key in change.deletes:
+                id_out.deletes.add(key)
+            for key, row in change.upserts.items():
+                _, b_part = self._lens.split_row(row)
+                entry = id_rows.get(key)
+                fk = entry[0] if entry else None
+                if fk is not None and cache.by_fk.get(fk) == b_part:
+                    continue  # unchanged assignment
+                if is_all_null(b_part):
+                    fk = None
+                else:
+                    existing = cache.by_payload.get(b_part)
+                    if existing is not None:
+                        fk = existing
+                    elif fk is not None and self._fk_exclusively_owned(key, fk, ctx):
+                        # The row's payload changed and nobody shares the
+                        # target row: update it in place (Rule 141).
+                        cache.put(fk, b_part)
+                    else:
+                        fk = ctx.allocate_id(SEQUENCE_ROLE)
+                        cache.put(fk, b_part)
+                id_out.upserts[key] = (fk,)
+            return {"ID": id_out} if not id_out.empty else {}
+        # side == 'target': S carries the authoritative p→fk mapping.
+        s_change = changes.get("S", TableChange())
+        t_change = changes.get("T", TableChange())
+        for key in s_change.deletes:
+            id_out.deletes.add(key)
+        for key, row in s_change.upserts.items():
+            id_out.upserts[key] = (row[-1],)
+        for fk, t_row in t_change.upserts.items():
+            cache.put(fk, t_row[1:])
+        for fk in t_change.deletes:
+            cache.drop(fk)
+        return {"ID": id_out} if not id_out.empty else {}
+
+    def _fk_exclusively_owned(self, key: Key, fk: Key, ctx: MapContext) -> bool:
+        id_rows = ctx.read("ID")
+        owners = [p for p, entry in id_rows.items() if entry and entry[0] == fk]
+        return owners == [key]
+
+    def validate(self) -> None:
+        source = self.source_schemas[0]
+        listed = list(self.node.first_columns) + list(self.node.second_columns)
+        for column in listed:
+            require(
+                source.has_column(column),
+                f"table {self.node.table!r} has no column {column!r}",
+            )
+        require(
+            set(listed) == set(source.column_names) and len(set(listed)) == len(listed),
+            "DECOMPOSE ON FK column lists must partition the source columns",
+        )
+
+    def target_schemas(self) -> tuple[TableSchema, ...]:
+        source = self.source_schemas[0]
+        fk_name = self.node.kind.fk_column or "fk"
+        s_schema = TableSchema(
+            self.node.first_table,
+            tuple(source.column(c) for c in self.node.first_columns)
+            + (Column(fk_name, DataType.INTEGER),),
+        )
+        t_schema = TableSchema(
+            self.node.second_table or "T",
+            (Column(ID_COLUMN, DataType.INTEGER),)
+            + tuple(source.column(c) for c in self.node.second_columns),
+        )
+        return (s_schema, t_schema)
+
+    def aux_shared(self) -> dict[str, TableSchema]:
+        return {"ID": TableSchema("ID", (Column("fk", DataType.INTEGER),))}
+
+    def sequences(self) -> tuple[str, ...]:
+        return (SEQUENCE_ROLE,)
+
+    def map_forward(self, ctx: MapContext) -> SideState:
+        return self._lens.forward(ctx)
+
+    def map_backward(self, ctx: MapContext) -> SideState:
+        return self._lens.backward(ctx)
+
+    def propagate_forward(self, changes, ctx):
+        change = changes.get("R")
+        if change is None or change.empty:
+            return {}
+        cache = self._ensure_cache(ctx)
+        s_out = TableChange()
+        t_out = TableChange()
+        id_out = TableChange()
+        keys = change.keys()
+        id_rows = ctx.read_keys("ID", keys)
+        # References contributed by this batch's surviving rows.
+        batch_refs: set[Key] = set()
+        for key, row in change.upserts.items():
+            _, b_part = self._lens.split_row(row)
+            entry = id_rows.get(key)
+            fk = entry[0] if entry else None
+            if fk is not None and cache.by_fk.get(fk) == b_part:
+                batch_refs.add(fk)
+        for key in change.deletes:
+            s_out.deletes.add(key)
+            id_out.deletes.add(key)
+            # T rows are deleted only when no other S row references them —
+            # "other" meaning rows outside this batch plus the batch's own
+            # surviving upserts.
+            entry = id_rows.get(key)
+            fk = entry[0] if entry else None
+            if (
+                fk is not None
+                and fk not in batch_refs
+                and not self._fk_still_referenced(fk, ctx, exclude=keys)
+            ):
+                t_out.deletes.add(fk)
+                cache.drop(fk)
+        for key, row in change.upserts.items():
+            a_part, b_part = self._lens.split_row(row)
+            entry = id_rows.get(key)
+            fk = entry[0] if entry else None
+            if is_all_null(b_part):
+                fk = None
+            elif fk is None or cache.by_fk.get(fk) != b_part:
+                existing = cache.by_payload.get(b_part)
+                if existing is not None:
+                    fk = existing
+                else:
+                    fk = ctx.allocate_id(SEQUENCE_ROLE)
+                    cache.put(fk, b_part)
+            s_out.upserts[key] = (*a_part, fk)
+            id_out.upserts[key] = (fk,)
+            if fk is not None:
+                t_out.upserts[fk] = (fk, *b_part)
+        return {"S": s_out, "T": t_out, "ID": id_out}
+
+    def _payload_index(self, ctx: MapContext) -> dict[Row, Key]:
+        """Payload → generated id, for the ``¬T_o(_, B)`` reuse check of
+        Rule 142. Prefer the stored target extent; when the SMO is
+        virtualized derive the index from the source table plus the ID
+        auxiliary."""
+        index: dict[Row, Key] = {}
+        stored = ctx.read("T")
+        if stored:
+            for t_key, t_row in stored.items():
+                index.setdefault(t_row[1:], t_key)
+            return index
+        id_rows = ctx.read("ID")
+        for r_key, wide_row in ctx.read("R").items():
+            entry = id_rows.get(r_key)
+            fk = entry[0] if entry else None
+            if fk is None:
+                continue
+            _, b_part = self._lens.split_row(wide_row)
+            index.setdefault(b_part, fk)
+        return index
+
+    def _fk_still_referenced(self, fk: Key, ctx: MapContext, exclude: set[Key]) -> bool:
+        # The stored ID table maps every source row to its target id, so a
+        # scan of ID (narrow, always stored) suffices instead of reading S.
+        for r_key, entry in ctx.read("ID").items():
+            if r_key in exclude:
+                continue
+            if entry and entry[0] == fk:
+                return True
+        return False
+
+    def propagate_backward(self, changes, ctx):
+        s_change = changes.get("S", TableChange())
+        t_change = changes.get("T", TableChange())
+        if s_change.empty and t_change.empty:
+            return {}
+        wide_out = TableChange()
+        id_out = TableChange()
+        affected_fks = set(t_change.keys())
+        cache = self._ensure_cache(ctx)
+
+        # S-side changes: re-derive the wide row for each changed S key.
+        # The payload cache answers fk → payload without reading T.
+        t_lookup_keys = {
+            row[-1] for row in s_change.upserts.values() if row[-1] is not None
+        } | affected_fks
+        t_current: dict[Key, Row] = {}
+        missing: set[Key] = set()
+        for fk in t_lookup_keys:
+            payload = cache.by_fk.get(fk)
+            if payload is not None:
+                t_current[fk] = (fk, *payload)
+            else:
+                missing.add(fk)
+        if missing:
+            t_current.update(ctx.read_keys("T", missing))
+        for key, row in t_change.upserts.items():
+            t_current[key] = row
+            cache.put(key, row[1:])
+        for key in t_change.deletes:
+            t_current.pop(key, None)
+            cache.drop(key)
+
+        for key in s_change.deletes:
+            wide_out.deletes.add(key)
+            id_out.deletes.add(key)
+        for key, s_row in s_change.upserts.items():
+            a_part, fk = s_row[:-1], s_row[-1]
+            t_row = t_current.get(fk) if fk is not None else None
+            if t_row is not None:
+                wide_out.upserts[key] = self._lens.combine(a_part, t_row[1:])
+                id_out.upserts[key] = (fk,)
+            else:
+                wide_out.upserts[key] = self._lens.combine(a_part, None)
+                id_out.upserts[key] = (None,)
+
+        # T-side changes: every S row referencing a changed T row needs its
+        # wide row refreshed; unreferenced T rows surface keyed by their id.
+        if affected_fks:
+            s_extent = ctx.read("S")
+            referencing: dict[Key, list[tuple[Key, Row]]] = {}
+            for s_key, s_row in s_extent.items():
+                fk = s_row[-1]
+                if fk in affected_fks:
+                    referencing.setdefault(fk, []).append((s_key, s_row))
+            for fk in t_change.deletes:
+                wide_out.deletes.add(fk)  # was possibly surfaced as unreferenced
+                for s_key, s_row in referencing.get(fk, []):
+                    if s_key in s_change.deletes:
+                        continue
+                    wide_out.upserts[s_key] = self._lens.combine(s_row[:-1], None)
+                    id_out.upserts[s_key] = (None,)
+            for fk, t_row in t_change.upserts.items():
+                refs = [
+                    (s_key, s_row)
+                    for s_key, s_row in referencing.get(fk, [])
+                    if s_key not in s_change.deletes and s_key not in s_change.upserts
+                ]
+                for s_key, s_row in refs:
+                    wide_out.upserts[s_key] = self._lens.combine(s_row[:-1], t_row[1:])
+                    id_out.upserts[s_key] = (fk,)
+                if not refs and not any(
+                    row[-1] == fk for row in s_change.upserts.values()
+                ):
+                    wide_out.upserts[fk] = self._lens.combine(None, t_row[1:])
+                    id_out.upserts[fk] = (fk,)
+        return {"R": wide_out, "ID": id_out}
+
+
+class OuterJoinFkSemantics(SmoSemantics):
+    """``OUTER JOIN TABLE S, T INTO R ON FK fk`` — the inverse of B.3.
+
+    Sources: ``S`` (with the fk column, which disappears) and ``T`` (whose
+    leading ``id`` column disappears); the target is the re-combined wide
+    table."""
+
+    node: Join
+
+    source_roles = ("S", "T")
+    target_roles = ("R",)
+
+    def __init__(self, node: Join, source_schemas):
+        super().__init__(node, source_schemas)
+        s_schema, t_schema = source_schemas
+        fk = node.kind.fk_column or "fk"
+        a_columns = tuple(c for c in s_schema.column_names if c != fk)
+        b_columns = tuple(t_schema.column_names[1:])
+        wide = TableSchema(
+            node.target,
+            tuple(s_schema.column(c) for c in a_columns)
+            + tuple(t_schema.column(c) for c in b_columns),
+        )
+        self._lens = _FkLens(wide, a_columns, b_columns, fk)
+        self._fk_index = s_schema.index_of(fk)
+
+    def validate(self) -> None:
+        s_schema, t_schema = self.source_schemas
+        fk = self.node.kind.fk_column or "fk"
+        require(s_schema.has_column(fk), f"table {s_schema.name!r} has no column {fk!r}")
+        require(
+            t_schema.column_names and t_schema.column_names[0] == ID_COLUMN,
+            f"OUTER JOIN ON FK expects {t_schema.name!r} to expose its identifier "
+            f"as a leading {ID_COLUMN!r} column",
+        )
+
+    def target_schemas(self) -> tuple[TableSchema, ...]:
+        return (self._lens.wide_schema,)
+
+    def aux_shared(self) -> dict[str, TableSchema]:
+        return {"ID": TableSchema("ID", (Column("fk", DataType.INTEGER),))}
+
+    def sequences(self) -> tuple[str, ...]:
+        return (SEQUENCE_ROLE,)
+
+    def _reorder_s(self, row: Row) -> Row:
+        """Move the fk column to the end (the lens convention)."""
+        return tuple(v for i, v in enumerate(row) if i != self._fk_index) + (row[self._fk_index],)
+
+    def _restore_s(self, row: Row) -> Row:
+        """Inverse of :meth:`_reorder_s`."""
+        a_part, fk = row[:-1], row[-1]
+        values = list(a_part)
+        values.insert(self._fk_index, fk)
+        return tuple(values)
+
+    def _ctx_with_lens_order(self, ctx: MapContext) -> MapContext:
+        outer = self
+
+        class _Adapter(MapContext):
+            def read(self, role: str) -> KeyedRows:
+                rows = ctx.read(role)
+                if role == "S":
+                    return {k: outer._reorder_s(r) for k, r in rows.items()}
+                return rows
+
+            def allocate_id(self, sequence_role: str) -> Key:
+                return ctx.allocate_id(sequence_role)
+
+        return _Adapter()
+
+    def map_forward(self, ctx: MapContext) -> SideState:
+        state = self._lens.backward(self._ctx_with_lens_order(ctx))
+        return {"R": state["R"], "ID": state["ID"]}
+
+    def map_backward(self, ctx: MapContext) -> SideState:
+        state = self._lens.forward(self._ctx_with_lens_order(ctx))
+        return {
+            "S": {k: self._restore_s(r) for k, r in state["S"].items()},
+            "T": state["T"],
+            "ID": state["ID"],
+        }

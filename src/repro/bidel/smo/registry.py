@@ -1,0 +1,104 @@
+"""Dispatch from parsed SMO nodes to their semantics classes."""
+
+from __future__ import annotations
+
+from repro.bidel.ast import (
+    AddColumn,
+    CreateTable,
+    Decompose,
+    DropColumn,
+    DropTable,
+    Join,
+    Merge,
+    RenameColumn,
+    RenameTable,
+    SmoNode,
+    Split,
+)
+from repro.bidel.smo.base import SmoSemantics
+from repro.bidel.smo.columns import AddColumnSemantics, DropColumnSemantics
+from repro.bidel.smo.conditional import DecomposeCondSemantics, InnerJoinCondSemantics
+from repro.bidel.smo.foreign_key import DecomposeFkSemantics, OuterJoinFkSemantics
+from repro.bidel.smo.partition import MergeSemantics, SplitSemantics
+from repro.bidel.smo.simple import (
+    CreateTableSemantics,
+    DropTableSemantics,
+    RenameColumnSemantics,
+    RenameTableSemantics,
+)
+from repro.bidel.smo.vertical import (
+    DecomposePkSemantics,
+    InnerJoinPkSemantics,
+    OuterJoinPkSemantics,
+)
+from repro.errors import EvolutionError
+from repro.relational.schema import TableSchema
+
+
+def source_table_names(node: SmoNode) -> tuple[str, ...]:
+    """The tables an SMO consumes, in role order."""
+    if isinstance(node, CreateTable):
+        return ()
+    if isinstance(node, (DropTable, RenameTable)):
+        return (node.table,)
+    if isinstance(node, (RenameColumn, AddColumn, DropColumn)):
+        return (node.table,)
+    if isinstance(node, Decompose):
+        return (node.table,)
+    if isinstance(node, Join):
+        return (node.first_table, node.second_table)
+    if isinstance(node, Split):
+        return (node.table,)
+    if isinstance(node, Merge):
+        return (node.first_table, node.second_table)
+    raise EvolutionError(f"unknown SMO node {node!r}")
+
+
+def build_semantics(node: SmoNode, source_schemas: tuple[TableSchema, ...]) -> SmoSemantics:
+    """Instantiate the right semantics class for a parsed SMO."""
+    if isinstance(node, CreateTable):
+        return CreateTableSemantics(node, source_schemas)
+    if isinstance(node, DropTable):
+        return DropTableSemantics(node, source_schemas)
+    if isinstance(node, RenameTable):
+        return RenameTableSemantics(node, source_schemas)
+    if isinstance(node, RenameColumn):
+        return RenameColumnSemantics(node, source_schemas)
+    if isinstance(node, AddColumn):
+        return AddColumnSemantics(node, source_schemas)
+    if isinstance(node, DropColumn):
+        return DropColumnSemantics(node, source_schemas)
+    if isinstance(node, Split):
+        return SplitSemantics(node, source_schemas)
+    if isinstance(node, Merge):
+        return MergeSemantics(node, source_schemas)
+    if isinstance(node, Decompose):
+        if node.second_table is None or node.kind.method == "PK":
+            if node.second_table is None:
+                raise EvolutionError(
+                    "DECOMPOSE requires two target tables (single-table "
+                    "projections can be expressed with DROP COLUMN)"
+                )
+            return DecomposePkSemantics(node, source_schemas)
+        if node.kind.method == "FK":
+            return DecomposeFkSemantics(node, source_schemas)
+        return DecomposeCondSemantics(node, source_schemas)
+    if isinstance(node, Join):
+        if node.kind.method == "PK":
+            if node.outer:
+                return OuterJoinPkSemantics(node, source_schemas)
+            return InnerJoinPkSemantics(node, source_schemas)
+        if node.kind.method == "FK":
+            if node.outer:
+                return OuterJoinFkSemantics(node, source_schemas)
+            raise EvolutionError(
+                "inner JOIN ON FK is not supported; use OUTER JOIN ON FK "
+                "(the paper treats FK joins as a variant of condition joins)"
+            )
+        if node.outer:
+            raise EvolutionError(
+                "OUTER JOIN ON condition is not implemented; the paper "
+                "derives it as the inverse of DECOMPOSE ON condition"
+            )
+        return InnerJoinCondSemantics(node, source_schemas)
+    raise EvolutionError(f"unknown SMO node {node!r}")

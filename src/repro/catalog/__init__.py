@@ -1,0 +1,27 @@
+"""The schema version catalog (Section 3 of the paper).
+
+The catalog is InVerDa's central knowledge base: a directed acyclic
+hypergraph whose vertices are *table versions* and whose hyperedges are
+*SMO instances*, plus the mapping from schema-version names to sets of
+table versions and the materialization state of every SMO.
+"""
+
+from repro.catalog.genealogy import Genealogy, SmoInstance, TableVersion
+from repro.catalog.materialization import (
+    MaterializationSchema,
+    enumerate_valid_materializations,
+    physical_table_versions,
+    validate_materialization,
+)
+from repro.catalog.versions import SchemaVersion
+
+__all__ = [
+    "Genealogy",
+    "SmoInstance",
+    "TableVersion",
+    "SchemaVersion",
+    "MaterializationSchema",
+    "physical_table_versions",
+    "validate_materialization",
+    "enumerate_valid_materializations",
+]

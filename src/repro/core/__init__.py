@@ -1,0 +1,18 @@
+"""InVerDa: co-existing schema versions on one shared data set.
+
+The public entry point is :class:`~repro.core.engine.InVerDa`:
+
+>>> from repro import InVerDa
+>>> db = InVerDa()
+>>> db.execute('''
+...     CREATE SCHEMA VERSION TasKy WITH
+...     CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);
+... ''')
+>>> tasky = db.connect("TasKy")
+>>> tasky.insert("Task", {"author": "Ann", "task": "Organize party", "prio": 3})  # doctest: +SKIP
+"""
+
+from repro.core.access import VersionConnection
+from repro.core.engine import InVerDa
+
+__all__ = ["InVerDa", "VersionConnection"]

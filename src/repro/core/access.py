@@ -1,0 +1,208 @@
+"""Version connections: the application's view of one schema version.
+
+"Each schema version itself appears to the user like a full-fledged
+single-schema database" — a :class:`VersionConnection` provides
+select/insert/update/delete against the tables of its version; the engine
+routes every access through the generated mapping logic so writes are
+reflected in all co-existing versions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any
+
+from repro.bidel.smo.base import TableChange
+from repro.catalog.genealogy import TableVersion
+from repro.catalog.versions import SchemaVersion
+from repro.errors import AccessError
+from repro.expr.ast import Expression, is_true
+from repro.expr.parser import parse_expression
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import InVerDa
+
+Predicate = Expression | str | Callable[[dict[str, Any]], bool] | None
+_KEYED_COLUMN = "id"
+
+
+def _compile_predicate(where: Predicate) -> Callable[[dict[str, Any]], bool]:
+    if where is None:
+        return lambda row: True
+    if isinstance(where, str):
+        where = parse_expression(where)
+    if isinstance(where, Expression):
+        expression = where
+        return lambda row: is_true(expression.evaluate(row))
+    return where
+
+
+class VersionConnection:
+    def __init__(self, engine: "InVerDa", version: SchemaVersion):
+        self._engine = engine
+        self._version = version
+
+    @property
+    def version_name(self) -> str:
+        return self._version.name
+
+    def table_names(self) -> list[str]:
+        return self._version.table_names()
+
+    def columns(self, table: str) -> tuple[str, ...]:
+        return self._table_version(table).schema.column_names
+
+    def _table_version(self, table: str) -> TableVersion:
+        return self._version.table_version(table)
+
+    def _has_key_column(self, tv: TableVersion) -> bool:
+        return tv.key_column is not None
+
+    # -- reads ---------------------------------------------------------------
+
+    def select(
+        self,
+        table: str,
+        where: Predicate = None,
+        *,
+        columns: list[str] | None = None,
+        order_by: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Rows of ``table`` as dictionaries, optionally filtered/projected."""
+        tv = self._table_version(table)
+        schema = tv.schema
+        predicate = _compile_predicate(where)
+        rows = []
+        for _key, row in self._engine.read_table_version(tv, cache={}).items():
+            mapping = schema.row_to_mapping(row)
+            if predicate(mapping):
+                rows.append(mapping)
+        if order_by is not None:
+            rows.sort(key=lambda mapping: (mapping[order_by] is None, mapping[order_by]))
+        if columns is not None:
+            rows = [{name: mapping[name] for name in columns} for mapping in rows]
+        return rows
+
+    def select_keyed(self, table: str, where: Predicate = None) -> dict[int, dict[str, Any]]:
+        """Rows keyed by the internal tuple identifier ``p`` (mostly for
+        tests and the benchmark harness)."""
+        tv = self._table_version(table)
+        schema = tv.schema
+        predicate = _compile_predicate(where)
+        out: dict[int, dict[str, Any]] = {}
+        for key, row in self._engine.read_table_version(tv, cache={}).items():
+            mapping = schema.row_to_mapping(row)
+            if predicate(mapping):
+                out[key] = mapping
+        return out
+
+    def count(self, table: str, where: Predicate = None) -> int:
+        return len(self.select(table, where))
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, table: str, values: Mapping[str, Any]) -> int:
+        """Insert one row; returns the internal tuple identifier."""
+        tv = self._table_version(table)
+        key = None
+        if tv.key_column is not None:
+            provided = values.get(tv.key_column)
+            key = int(provided) if provided is not None else self._engine.allocate_key()
+            values = dict(values)
+            values[tv.key_column] = key
+        if key is None:
+            key = self._engine.allocate_key()
+        row = tv.schema.row_from_mapping(values)
+        change = TableChange(upserts={key: row})
+        self._engine.apply_change(tv, change)
+        return key
+
+    def insert_many(self, table: str, rows: list[Mapping[str, Any]]) -> list[int]:
+        """Bulk insert; one propagation pass for the whole batch."""
+        tv = self._table_version(table)
+        change = TableChange()
+        keys: list[int] = []
+        for values in rows:
+            if tv.key_column is not None:
+                provided = values.get(tv.key_column)
+                key = int(provided) if provided is not None else self._engine.allocate_key()
+                values = dict(values)
+                values[tv.key_column] = key
+            else:
+                key = self._engine.allocate_key()
+            change.upserts[key] = tv.schema.row_from_mapping(values)
+            keys.append(key)
+        self._engine.apply_change(tv, change)
+        return keys
+
+    def update(
+        self, table: str, set_values: Mapping[str, Any], where: Predicate = None
+    ) -> int:
+        """Update matching rows; returns the number of rows changed."""
+        tv = self._table_version(table)
+        schema = tv.schema
+        if tv.key_column is not None and tv.key_column in set_values:
+            raise AccessError(
+                f"column {tv.key_column!r} of {table!r} is the generated "
+                "identifier and cannot be updated"
+            )
+        predicate = _compile_predicate(where)
+        change = TableChange()
+        for key, row in self._engine.read_table_version(tv, cache={}).items():
+            mapping = schema.row_to_mapping(row)
+            if not predicate(mapping):
+                continue
+            mapping.update(set_values)
+            change.upserts[key] = schema.row_from_mapping(mapping)
+        if change.empty:
+            return 0
+        self._engine.apply_change(tv, change)
+        return len(change.upserts)
+
+    def delete(self, table: str, where: Predicate = None) -> int:
+        """Delete matching rows; returns the number of rows removed."""
+        tv = self._table_version(table)
+        schema = tv.schema
+        predicate = _compile_predicate(where)
+        change = TableChange()
+        for key, row in self._engine.read_table_version(tv, cache={}).items():
+            if predicate(schema.row_to_mapping(row)):
+                change.deletes.add(key)
+        if change.empty:
+            return 0
+        self._engine.apply_change(tv, change)
+        return len(change.deletes)
+
+    def update_by_key(self, table: str, key: int, set_values: Mapping[str, Any]) -> None:
+        tv = self._table_version(table)
+        extent = self._engine.read_table_version(tv, cache={})
+        if key not in extent:
+            raise AccessError(f"table {table!r} has no row with id {key}")
+        mapping = tv.schema.row_to_mapping(extent[key])
+        mapping.update(set_values)
+        self._engine.apply_change(
+            tv, TableChange(upserts={key: tv.schema.row_from_mapping(mapping)})
+        )
+
+    def delete_by_key(self, table: str, key: int) -> None:
+        tv = self._table_version(table)
+        self._engine.apply_change(tv, TableChange(deletes={key}))
+
+    # -- transactions --------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Group several writes into one atomic unit (rolled back on error)."""
+        engine = self._engine
+        if engine._undo_log is not None:
+            yield self  # nested: join the outer transaction
+            return
+        engine._undo_log = []
+        try:
+            yield self
+        except Exception:
+            engine._rollback()
+            raise
+        finally:
+            engine._undo_log = None

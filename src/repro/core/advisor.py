@@ -1,0 +1,129 @@
+"""A workload-driven materialization advisor.
+
+Section 8.2 of the paper: "A DBA can optimize the overall performance for a
+given workload by adapting the materialization ... An advisor tool
+supporting the optimization task is very well imaginable, but out of scope
+for this paper." This module implements that imaginable tool as a small
+extension: given observed (or predicted) access counts per schema version,
+it scores every valid materialization schema with a propagation-distance
+cost model and recommends the cheapest one.
+
+The cost model charges each access the number of SMO hops between the
+accessed version's table versions and their physical homes — exactly the
+quantity Figures 11–13 show to dominate performance ("the more SMOs are
+between schema versions, the more delta code is involved and the higher is
+the overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.genealogy import Genealogy, SmoInstance, TableVersion
+from repro.catalog.materialization import (
+    MaterializationSchema,
+    enumerate_valid_materializations,
+    physical_table_versions,
+)
+
+# Writes fan out to every stored artifact, so they are costlier per hop.
+READ_HOP_COST = 1.0
+WRITE_HOP_COST = 1.5
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Observed access counts per schema version."""
+
+    reads: dict[str, float] = field(default_factory=dict)
+    writes: dict[str, float] = field(default_factory=dict)
+
+    def versions(self) -> set[str]:
+        return set(self.reads) | set(self.writes)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    schema: MaterializationSchema
+    cost: float
+    physical_tables: tuple[str, ...]
+    ranking: tuple[tuple[float, str], ...]  # (cost, physical tables) per schema
+
+    def describe(self) -> str:
+        smos = sorted(smo.smo_type for smo in self.schema)
+        return f"materialize {{{', '.join(smos)}}} -> {list(self.physical_tables)}"
+
+
+def _hop_distance(
+    tv: TableVersion, materialized: MaterializationSchema
+) -> int:
+    """SMO hops from ``tv`` to its physical home under ``materialized``."""
+    distance = 0
+    current = tv
+    seen: set[int] = set()
+    while True:
+        if current.uid in seen:  # pragma: no cover - DAG guarantees no loop
+            return distance
+        seen.add(current.uid)
+        incoming_stored = current.incoming is not None and (
+            current.incoming.is_initial or current.incoming in materialized
+        )
+        outgoing_stored = [
+            smo for smo in current.outgoing if not smo.is_initial and smo in materialized
+        ]
+        if incoming_stored and not outgoing_stored:
+            return distance  # physical here
+        distance += 1
+        if outgoing_stored:
+            current = outgoing_stored[0].targets[0] if outgoing_stored[0].targets else current
+            if not outgoing_stored[0].targets:
+                return distance
+        elif current.incoming is not None and not current.incoming.is_initial:
+            if not current.incoming.sources:
+                return distance
+            current = current.incoming.sources[0]
+        else:  # pragma: no cover - dangling table version
+            return distance
+
+
+def score_schema(
+    genealogy: Genealogy,
+    schema: MaterializationSchema,
+    profile: WorkloadProfile,
+) -> float:
+    """Total propagation cost of ``profile`` under ``schema``."""
+    total = 0.0
+    for version_name in profile.versions():
+        version = genealogy.schema_version(version_name)
+        reads = profile.reads.get(version_name, 0.0)
+        writes = profile.writes.get(version_name, 0.0)
+        for tv in version.tables.values():
+            hops = _hop_distance(tv, schema)
+            total += hops * (reads * READ_HOP_COST + writes * WRITE_HOP_COST)
+    return total
+
+
+def recommend_materialization(
+    genealogy: Genealogy, profile: WorkloadProfile
+) -> Recommendation:
+    """The cheapest valid materialization schema for ``profile``."""
+    scored: list[tuple[float, MaterializationSchema]] = []
+    for schema in enumerate_valid_materializations(genealogy):
+        scored.append((score_schema(genealogy, schema, profile), schema))
+    scored.sort(key=lambda pair: (pair[0], len(pair[1])))
+    best_cost, best_schema = scored[0]
+    ranking = tuple(
+        (
+            cost,
+            ", ".join(
+                tv.name for tv in physical_table_versions(genealogy, schema)
+            ),
+        )
+        for cost, schema in scored
+    )
+    physical = tuple(
+        tv.name for tv in physical_table_versions(genealogy, best_schema)
+    )
+    return Recommendation(
+        schema=best_schema, cost=best_cost, physical_tables=physical, ranking=ranking
+    )

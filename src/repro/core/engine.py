@@ -1,0 +1,633 @@
+"""The InVerDa engine: co-existing schema versions over one data set.
+
+This is the paper's Figure-3 architecture in library form. The engine owns
+
+- the physical storage (:class:`~repro.relational.database.Database`),
+- the schema version catalog (:class:`~repro.catalog.genealogy.Genealogy`),
+
+and implements the two user-facing operations:
+
+- the **Database Evolution Operation** — executing a BiDEL
+  ``CREATE SCHEMA VERSION`` makes the new version immediately readable and
+  writable (Section 6's delta code corresponds to the routing implemented
+  by :meth:`InVerDa.read_table_version` / :meth:`InVerDa.apply_change`);
+- the **Database Migration Operation** — ``MATERIALIZE`` moves the physical
+  data representation along the genealogy without affecting any version's
+  visible contents (Section 7).
+
+Reads follow the three cases of Section 6: *local* (the table version is
+physical), *forwards* (an outgoing SMO is materialized; read through its
+``γ_src``), and *backwards* (the incoming SMO is virtualized; read through
+its ``γ_tgt``). Writes propagate the other way, key-locally where the SMO
+provides an incremental fast path and by a full lens put otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bidel.ast import (
+    CreateSchemaVersion,
+    CreateTable,
+    DropSchemaVersion,
+    Materialize,
+    SmoNode,
+    Statement,
+)
+from repro.bidel.parser import parse_script
+from repro.bidel.smo.base import KeyedRows, SideState, TableChange
+from repro.bidel.smo.registry import build_semantics, source_table_names
+from repro.catalog.genealogy import Genealogy, SmoInstance, TableVersion
+from repro.catalog.materialization import (
+    current_materialization,
+    materialization_for_versions,
+    physical_table_versions,
+    validate_materialization,
+)
+from repro.catalog.versions import SchemaVersion
+from repro.core.context import EngineMapContext, ReadCache
+from repro.errors import AccessError, CatalogError, EvolutionError, TransactionError
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+from repro.relational.table import Key, Table
+
+_ID_COLUMN = "id"
+
+
+class InVerDa:
+    """A database with end-to-end support for co-existing schema versions."""
+
+    def __init__(self) -> None:
+        self.database = Database()
+        self.genealogy = Genealogy()
+        self._undo_log: list[tuple[str, Key, tuple | None]] | None = None
+        # Memo: does anything stored lie beyond (smo, direction)? Reset on
+        # every evolution and migration.
+        self._propagation_needs: dict[tuple[int, str], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, script: str) -> None:
+        """Execute a BiDEL script (any mix of the three statement forms)."""
+        for statement in parse_script(script):
+            self.execute_statement(statement)
+
+    def execute_statement(self, statement: Statement) -> None:
+        if isinstance(statement, CreateSchemaVersion):
+            self.create_schema_version(statement)
+        elif isinstance(statement, DropSchemaVersion):
+            self.drop_schema_version(statement.name)
+        elif isinstance(statement, Materialize):
+            self.materialize(statement.targets)
+        else:  # pragma: no cover - parser guarantees the union
+            raise EvolutionError(f"unknown statement {statement!r}")
+
+    def connect(self, version_name: str):
+        """A connection bound to one schema version (the app's view)."""
+        from repro.core.access import VersionConnection
+
+        return VersionConnection(self, self.genealogy.schema_version(version_name))
+
+    # ------------------------------------------------------------------
+    # Database Evolution Operation
+    # ------------------------------------------------------------------
+
+    def create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
+        working: dict[str, TableVersion] = {}
+        if statement.source is not None:
+            working.update(self.genealogy.schema_version(statement.source).tables)
+        for node in statement.smos:
+            self._apply_smo(node, working, statement.name)
+        version = SchemaVersion(statement.name, working, parent=statement.source)
+        self.genealogy.add_schema_version(version)
+        self.genealogy.check_acyclic()
+        self._propagation_needs.clear()
+        return version
+
+    def _apply_smo(
+        self, node: SmoNode, working: dict[str, TableVersion], evolution: str
+    ) -> SmoInstance:
+        source_names = source_table_names(node)
+        sources: list[TableVersion] = []
+        for name in source_names:
+            if name not in working:
+                raise EvolutionError(
+                    f"SMO {node.unparse()!r}: no table {name!r} in the working schema"
+                )
+            sources.append(working[name])
+        semantics = build_semantics(node, tuple(tv.schema for tv in sources))
+        target_schemas = semantics.target_schemas()
+        targets = [
+            self.genealogy.new_table_version(schema.name, schema, evolution)
+            for schema in target_schemas
+        ]
+        smo = self.genealogy.new_smo_instance(
+            node,
+            sources,
+            targets,
+            evolution,
+            materialized=isinstance(node, CreateTable),
+        )
+        smo.semantics = semantics
+        self._assign_key_columns(node, smo)
+        for name in source_names:
+            del working[name]
+        for tv in targets:
+            if tv.name in working:
+                raise EvolutionError(
+                    f"SMO {node.unparse()!r}: table {tv.name!r} already exists "
+                    "in the working schema"
+                )
+            working[tv.name] = tv
+
+        # Physical setup: CREATE TABLE targets are stored immediately; all
+        # other SMOs start virtualized, so their source-side auxiliary
+        # tables exist (initially empty) alongside the shared ID tables.
+        if isinstance(node, CreateTable):
+            self.database.create_table(
+                targets[0].schema.with_name(targets[0].data_table_name)
+            )
+        else:
+            for role, schema in semantics.aux_src().items():
+                self.database.create_table(schema.with_name(smo.aux_table_name(role)))
+        for role, schema in semantics.aux_shared().items():
+            self.database.create_table(schema.with_name(smo.aux_table_name(role)))
+        if semantics.aux_shared():
+            self._initialize_shared_aux(smo)
+        return smo
+
+    def _assign_key_columns(self, node: SmoNode, smo: SmoInstance) -> None:
+        """Track which visible columns mirror generated row identifiers."""
+        from repro.bidel.ast import Decompose, Join, RenameColumn
+
+        if isinstance(node, Decompose) and node.kind.method in ("FK", "COND"):
+            generated = smo.targets if node.kind.method == "COND" else smo.targets[1:]
+            for tv in generated:
+                tv.key_column = _ID_COLUMN
+            return
+        if isinstance(node, Join) and node.kind.method == "COND" and not node.outer:
+            return  # joined rows get fresh ids but expose no id column
+        # Identity-shaped SMOs inherit the marker when the column survives.
+        if len(smo.sources) == 1 and len(smo.targets) >= 1:
+            inherited = smo.sources[0].key_column
+            if inherited is None:
+                return
+            if isinstance(node, RenameColumn) and node.column == inherited:
+                inherited = node.new_name
+            for tv in smo.targets:
+                if tv.schema.has_column(inherited):
+                    tv.key_column = inherited
+
+    def _initialize_shared_aux(self, smo: SmoInstance) -> None:
+        """Populate ID tables eagerly so generated identifiers are stable
+        from the first read onwards (repeatable reads, Appendix B.3)."""
+        ctx = EngineMapContext(self, smo, output_side="target")
+        state = smo.semantics.map_forward(ctx)
+        for role in smo.semantics.aux_shared():
+            if role in state:
+                table = self.database.table(smo.aux_table_name(role))
+                table.replace_all(state[role])
+
+    # ------------------------------------------------------------------
+    # Dropping schema versions
+    # ------------------------------------------------------------------
+
+    def drop_schema_version(self, name: str) -> None:
+        version = self.genealogy.schema_version(name)
+        removable = self.genealogy.drop_schema_version(version.name)
+        # SMOs no longer connecting remaining versions are garbage-collected
+        # from the catalog; their data stays where the materialization put it.
+        for smo in removable:
+            if smo.materialized or any(
+                self._is_physical(tv) for tv in smo.targets
+            ):
+                continue  # data would be lost; keep the SMO alive
+            for tv in smo.targets:
+                tv.incoming = None
+            for tv in smo.sources:
+                if smo in tv.outgoing:
+                    tv.outgoing.remove(smo)
+            for role in smo.semantics.aux_src() if smo.semantics else {}:
+                table_name = smo.aux_table_name(role)
+                if self.database.has_table(table_name):
+                    self.database.drop_table(table_name)
+            self.genealogy.smo_instances.pop(smo.uid, None)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _is_physical(self, tv: TableVersion) -> bool:
+        return self.database.has_table(tv.data_table_name)
+
+    def _forward_smo(self, tv: TableVersion) -> SmoInstance | None:
+        """The outgoing materialized SMO, if any (Case 2 of Section 6)."""
+        for smo in tv.outgoing:
+            if smo.materialized:
+                return smo
+        return None
+
+    def read_stored(self, tv: TableVersion) -> KeyedRows:
+        if self._is_physical(tv):
+            return self.database.table(tv.data_table_name).as_dict()
+        return {}
+
+    def read_aux(self, smo: SmoInstance, role: str) -> KeyedRows:
+        name = smo.aux_table_name(role)
+        if self.database.has_table(name):
+            return self.database.table(name).as_dict()
+        return {}
+
+    def read_table_version(
+        self, tv: TableVersion, *, cache: ReadCache | None = None
+    ) -> KeyedRows:
+        """The visible extent of a table version (Cases 1–3 of Section 6)."""
+        if cache is not None and tv.uid in cache:
+            return cache[tv.uid]
+        if self._is_physical(tv):
+            extent = self.database.table(tv.data_table_name).as_dict()
+        else:
+            cache = cache if cache is not None else {}
+            forward = self._forward_smo(tv)
+            if forward is not None:
+                role = forward.semantics.source_roles[forward.sources.index(tv)]
+                ctx = EngineMapContext(self, forward, output_side="source", cache=cache)
+                extent = forward.semantics.map_backward(ctx).get(role, {})
+            elif tv.incoming is not None and not tv.incoming.is_initial:
+                smo = tv.incoming
+                role = smo.semantics.target_roles[smo.targets.index(tv)]
+                ctx = EngineMapContext(self, smo, output_side="target", cache=cache)
+                extent = smo.semantics.map_forward(ctx).get(role, {})
+            else:  # pragma: no cover - catalog invariants prevent this
+                raise AccessError(f"table version {tv!r} has no data route")
+        if cache is not None:
+            cache[tv.uid] = extent
+        return extent
+
+    def read_table_version_keys(
+        self, tv: TableVersion, keys: set[Key], *, cache: ReadCache | None = None
+    ) -> KeyedRows:
+        """Key-restricted read; falls back to a cached full read when the
+        table version is not physical."""
+        if self._is_physical(tv):
+            table = self.database.table(tv.data_table_name)
+            return {key: row for key in keys if (row := table.get(key)) is not None}
+        extent = self.read_table_version(tv, cache=cache)
+        return {key: extent[key] for key in keys if key in extent}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def allocate_key(self) -> Key:
+        return self.database.next_value()
+
+    def apply_change(self, tv: TableVersion, change: TableChange) -> None:
+        """Apply a write to a table version.
+
+        Mirrors the paper's cascading-trigger architecture: the change
+        travels to every table version "as long as some data is physically
+        stored with a table version either in the data table or in
+        auxiliary tables" — i.e. toward the physical home *and* along any
+        virtual branch that ends in stored auxiliary state (e.g. the ID
+        tables of an identifier-generating SMO).
+        """
+        if change.empty:
+            return
+        own_log = self._undo_log is None
+        if own_log:
+            self._undo_log = []
+        try:
+            self._propagate_batch([(tv, change)], cache={}, visited=set())
+        except Exception:
+            if own_log:
+                self._rollback()
+            raise
+        finally:
+            if own_log:
+                self._undo_log = None
+
+    def _rollback(self) -> None:
+        assert self._undo_log is not None
+        for table_name, key, old_row in reversed(self._undo_log):
+            if not self.database.has_table(table_name):
+                continue
+            table = self.database.table(table_name)
+            if old_row is None:
+                table.discard(key)
+            else:
+                table.upsert(key, old_row)
+        self._invalidate_semantics_caches()
+
+    def _invalidate_semantics_caches(self) -> None:
+        for smo in self.genealogy.smo_instances.values():
+            if smo.semantics is not None:
+                smo.semantics.invalidate_caches()
+
+    def _apply_physical(self, table: Table, change: TableChange) -> None:
+        log = self._undo_log
+        for key in change.deletes:
+            old = table.discard(key)
+            if log is not None and old is not None:
+                log.append((table.name, key, old))
+        for key, row in change.upserts.items():
+            old = table.get(key)
+            if log is not None:
+                log.append((table.name, key, old))
+            table.upsert(key, row)
+
+    def _is_storage_route(self, tv: TableVersion, smo: SmoInstance) -> bool:
+        """Is ``smo`` the SMO through which ``tv``'s data reaches storage?"""
+        if smo.is_initial:
+            return False
+        if tv in smo.sources:
+            return smo.materialized
+        return not smo.materialized and not self._is_physical(tv) and self._forward_smo(tv) is None
+
+    def _needs_propagation(self, smo: SmoInstance, direction: str) -> bool:
+        """Does anything physically stored lie on or beyond the far side of
+        ``smo`` in ``direction``? (Memoized per materialization epoch.)"""
+        key = (smo.uid, direction)
+        cached = self._propagation_needs.get(key)
+        if cached is not None:
+            return cached
+        self._propagation_needs[key] = False  # break exploration cycles
+        semantics = smo.semantics
+        result = False
+        if semantics is not None and semantics.aux_shared():
+            result = True
+        elif direction == "forward":
+            if smo.materialized:
+                result = True  # data and aux_tgt live there
+            else:
+                result = any(
+                    self._needs_propagation(nxt, "forward" if far_tv in nxt.sources else "backward")
+                    for far_tv in smo.targets
+                    for nxt in ([far_tv.incoming] if far_tv.incoming not in (None, smo) else [])
+                    + [out for out in far_tv.outgoing if out is not smo]
+                    if nxt is not None and not nxt.is_initial
+                )
+        else:
+            if not smo.materialized:
+                result = True  # data and aux_src live there
+            else:
+                result = any(
+                    self._needs_propagation(nxt, "forward" if far_tv in nxt.sources else "backward")
+                    for far_tv in smo.sources
+                    for nxt in ([far_tv.incoming] if far_tv.incoming not in (None, smo) else [])
+                    + [out for out in far_tv.outgoing if out is not smo]
+                    if nxt is not None and not nxt.is_initial
+                )
+        self._propagation_needs[key] = result
+        return result
+
+    def _propagate_batch(
+        self,
+        batch: list[tuple[TableVersion, TableChange]],
+        cache: ReadCache,
+        visited: set[int],
+    ) -> None:
+        """One wavefront step: apply the physical parts of the batch, then
+        carry the changes across every adjacent, not-yet-visited SMO that
+        leads to stored state. Changes destined for one SMO are grouped so
+        multi-source SMOs (MERGE, JOIN) see all their roles at once."""
+        for tv, change in batch:
+            if change.empty:
+                continue
+            cache.pop(tv.uid, None)
+            if self._is_physical(tv):
+                self._apply_physical(self.database.table(tv.data_table_name), change)
+            elif self._forward_smo(tv) is None and (
+                tv.incoming is None or tv.incoming.is_initial
+            ):
+                raise AccessError(f"table version {tv!r} accepts no writes (no data route)")
+
+        # Group the batch's changes by adjacent SMO and direction.
+        grouped: dict[int, tuple[SmoInstance, str, dict[str, TableChange]]] = {}
+        order: list[int] = []
+        for tv, change in batch:
+            if change.empty:
+                continue
+            adjacent = [smo for smo in tv.outgoing]
+            if tv.incoming is not None and not tv.incoming.is_initial:
+                adjacent.append(tv.incoming)
+            for smo in adjacent:
+                if smo.uid in visited or smo.is_initial:
+                    continue
+                direction = "forward" if tv in smo.sources else "backward"
+                is_route = self._is_storage_route(tv, smo)
+                if not is_route and not self._needs_propagation(smo, direction):
+                    continue
+                if smo.uid not in grouped:
+                    grouped[smo.uid] = (smo, direction, {})
+                    if is_route:
+                        order.insert(0, smo.uid)  # storage routes run first
+                    else:
+                        order.append(smo.uid)
+                semantics = smo.semantics
+                roles = (
+                    dict(zip(semantics.source_roles, smo.sources))
+                    if direction == "forward"
+                    else dict(zip(semantics.target_roles, smo.targets))
+                )
+                for role, role_tv in roles.items():
+                    if role_tv is tv:
+                        grouped[smo.uid][2][role] = change
+
+        for smo_uid in order:
+            if smo_uid in visited:
+                continue
+            smo, direction, role_changes = grouped[smo_uid]
+            visited.add(smo_uid)
+            output_side = "target" if direction == "forward" else "source"
+            ctx = EngineMapContext(self, smo, output_side=output_side, cache=cache)
+            if direction == "forward":
+                out = smo.semantics.propagate_forward(role_changes, ctx)
+            else:
+                out = smo.semantics.propagate_backward(role_changes, ctx)
+            if out is None:
+                out = self._full_put(smo, role_changes, direction=direction, cache=cache)
+            self._dispatch(smo, out, direction=direction, cache=cache, visited=visited)
+
+    def _dispatch(
+        self,
+        smo: SmoInstance,
+        outputs: dict[str, TableChange],
+        *,
+        direction: str,
+        cache: ReadCache,
+        visited: set[int],
+    ) -> None:
+        semantics = smo.semantics
+        data_roles = (
+            dict(zip(semantics.target_roles, smo.targets))
+            if direction == "forward"
+            else dict(zip(semantics.source_roles, smo.sources))
+        )
+        stored_aux = set(semantics.aux_shared())
+        if direction == "forward":
+            stored_aux |= set(semantics.aux_tgt()) if smo.materialized else set()
+        else:
+            stored_aux |= set(semantics.aux_src()) if not smo.materialized else set()
+        next_batch: list[tuple[TableVersion, TableChange]] = []
+        for role, change in outputs.items():
+            if change.empty:
+                continue
+            tv = data_roles.get(role)
+            if tv is not None:
+                next_batch.append((tv, change))
+                continue
+            if role in stored_aux:
+                table_name = smo.aux_table_name(role)
+                if self.database.has_table(table_name):
+                    self._apply_physical(self.database.table(table_name), change)
+            # aux roles of the unstored side are simply not persisted
+        if next_batch:
+            self._propagate_batch(next_batch, cache, visited)
+
+    def _full_put(
+        self,
+        smo: SmoInstance,
+        changes: dict[str, TableChange],
+        *,
+        direction: str,
+        cache: ReadCache,
+    ) -> dict[str, TableChange]:
+        """Whole-state lens put for SMOs without an incremental fast path:
+        read the writing side, apply the change, re-map the whole side, and
+        diff against the currently stored opposite side."""
+        semantics = smo.semantics
+        input_roles = (
+            dict(zip(semantics.source_roles, smo.sources))
+            if direction == "forward"
+            else dict(zip(semantics.target_roles, smo.targets))
+        )
+        overrides: dict[str, KeyedRows] = {}
+        for role, tv in input_roles.items():
+            extent = dict(self.read_table_version(tv, cache=cache))
+            changes.get(role, TableChange()).apply_to(extent)
+            overrides[role] = extent
+        output_side = "target" if direction == "forward" else "source"
+        ctx = EngineMapContext(
+            self, smo, output_side=output_side, cache=cache, overrides=overrides
+        )
+        new_state: SideState = (
+            semantics.map_forward(ctx) if direction == "forward" else semantics.map_backward(ctx)
+        )
+        out: dict[str, TableChange] = {}
+        output_roles = (
+            dict(zip(semantics.target_roles, smo.targets))
+            if direction == "forward"
+            else dict(zip(semantics.source_roles, smo.sources))
+        )
+        for role, new_rows in new_state.items():
+            tv = output_roles.get(role)
+            if tv is not None:
+                current = self.read_table_version(tv, cache=cache)
+            else:
+                current = self.read_aux(smo, role)
+            diff = TableChange()
+            for key in current:
+                if key not in new_rows:
+                    diff.deletes.add(key)
+            for key, row in new_rows.items():
+                if current.get(key) != row:
+                    diff.upserts[key] = row
+            out[role] = diff
+        return out
+
+    # ------------------------------------------------------------------
+    # Database Migration Operation (Section 7)
+    # ------------------------------------------------------------------
+
+    def materialize(self, targets: Iterable[str]) -> None:
+        """``MATERIALIZE 'version'`` / ``MATERIALIZE 'version.table', ...``"""
+        table_versions: list[TableVersion] = []
+        for target in targets:
+            if "." in target:
+                version_name, table_name = target.split(".", 1)
+                version = self.genealogy.schema_version(version_name)
+                table_versions.append(version.table_version(table_name))
+            else:
+                version = self.genealogy.schema_version(target)
+                table_versions.extend(version.tables.values())
+        schema = materialization_for_versions(self.genealogy, table_versions)
+        self.apply_materialization(schema)
+
+    def apply_materialization(self, schema: frozenset[SmoInstance]) -> None:
+        """Move the physical data representation to ``schema``.
+
+        All new physical contents (data tables and auxiliary tables) are
+        computed from the *current* state through the existing delta code,
+        then swapped in atomically; afterwards every SMO's materialization
+        flag is updated and obsolete tables are dropped.
+        """
+        validate_materialization(self.genealogy, schema)
+        cache: ReadCache = {}
+        new_tables: dict[str, Table] = {}
+
+        # 1. Data tables of the new physical table schema.
+        for tv in physical_table_versions(self.genealogy, schema):
+            extent = self.read_table_version(tv, cache=cache)
+            table = Table(tv.schema.with_name(tv.data_table_name))
+            table.replace_all(extent)
+            new_tables[table.name] = table
+
+        # 2. Auxiliary tables for each SMO's newly stored side.
+        for smo in self.genealogy.evolution_smos():
+            semantics = smo.semantics
+            if semantics is None:
+                continue
+            will_be_materialized = smo in schema
+            side_aux = semantics.aux_tgt() if will_be_materialized else semantics.aux_src()
+            needed_roles = set(side_aux) | set(semantics.aux_shared())
+            if not needed_roles:
+                continue
+            output_side = "target" if will_be_materialized else "source"
+            ctx = EngineMapContext(self, smo, output_side=output_side, cache=cache)
+            state = (
+                semantics.map_forward(ctx)
+                if will_be_materialized
+                else semantics.map_backward(ctx)
+            )
+            for role in needed_roles:
+                schema_for_role = side_aux.get(role) or semantics.aux_shared()[role]
+                table = Table(schema_for_role.with_name(smo.aux_table_name(role)))
+                table.replace_all(state.get(role, {}))
+                new_tables[table.name] = table
+
+        # 3. Initial tables that remain physical keep their storage.
+        for smo in self.genealogy.all_smos():
+            if not smo.is_initial:
+                continue
+            tv = smo.targets[0]
+            name = tv.data_table_name
+            if name not in new_tables and not any(
+                out in schema for out in tv.outgoing if not out.is_initial
+            ):
+                extent = self.read_table_version(tv, cache=cache)
+                table = Table(tv.schema.with_name(name))
+                table.replace_all(extent)
+                new_tables[name] = table
+
+        # 4. Atomic swap: replace the physical storage wholesale.
+        self.database.tables = new_tables
+        for smo in self.genealogy.evolution_smos():
+            smo.materialized = smo in schema
+        self._invalidate_semantics_caches()
+        self._propagation_needs.clear()
+
+    def current_materialization(self) -> frozenset[SmoInstance]:
+        return current_materialization(self.genealogy)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def physical_tables(self) -> list[str]:
+        return self.database.table_names()
+
+    def version_names(self) -> list[str]:
+        return sorted(v.name for v in self.genealogy.active_versions())

@@ -1,0 +1,250 @@
+"""Runtime (instantiated) Datalog representation.
+
+Rules here are fully positional: every predicate has a fixed arity and facts
+are plain tuples whose first component is, by convention, the table key
+(the InVerDa tuple identifier ``p`` for data tables). Attribute-list
+variables of the paper (``A``, ``B``) have already been expanded to one
+variable per column by the SMO instantiation code.
+
+Literal kinds:
+
+- :class:`Atom` — positive or negated relational literal ``R(t1, ..., tn)``;
+- :class:`CondLit` — an SMO condition such as ``cR(A)`` wrapping an
+  :class:`~repro.expr.ast.Expression`, positive or negated;
+- :class:`Compare` — tuple comparison ``(t1..tn) op (s1..sn)`` with
+  ``op ∈ {'=', '!='}`` (used for the twin checks ``A ≠ A'``);
+- :class:`Assign` — function binding ``v = f(t1, ..., tn)`` covering both
+  value functions of ADD/DROP COLUMN and the identity-generating functions
+  ``id_T(B)`` of the FK/condition SMOs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.errors import DatalogError
+from repro.expr.ast import Expression
+
+Value = Any
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    value: Value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+_wildcard_counter = itertools.count()
+
+
+def wildcard() -> Var:
+    """A fresh anonymous variable (the ``_`` of the paper's rules)."""
+    return Var(f"_w{next(_wildcard_counter)}")
+
+
+def is_wildcard(term: Term) -> bool:
+    return isinstance(term, Var) and term.name.startswith("_w")
+
+
+# ---------------------------------------------------------------------------
+# Literals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    pred: str
+    terms: tuple[Term, ...]
+    positive: bool = True
+
+    def negated(self) -> "Atom":
+        return Atom(self.pred, self.terms, not self.positive)
+
+    def variables(self) -> set[str]:
+        return {term.name for term in self.terms if isinstance(term, Var)}
+
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for term in self.terms)
+        prefix = "" if self.positive else "not "
+        return f"{prefix}{self.pred}({args})"
+
+
+@dataclass(frozen=True)
+class CondLit:
+    """An SMO condition literal ``c(A)``.
+
+    ``columns`` maps the expression's column names to terms of the rule, so
+    the same parsed condition can be applied to differently-named variables.
+    """
+
+    name: str
+    expression: Expression
+    columns: tuple[tuple[str, Term], ...]
+    positive: bool = True
+
+    def negated(self) -> "CondLit":
+        return CondLit(self.name, self.expression, self.columns, not self.positive)
+
+    def variables(self) -> set[str]:
+        return {term.name for _, term in self.columns if isinstance(term, Var)}
+
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for _, term in self.columns)
+        prefix = "" if self.positive else "not "
+        return f"{prefix}{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # '=' or '!='
+    left: tuple[Term, ...]
+    right: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!="):
+            raise DatalogError(f"unsupported comparison operator {self.op!r}")
+        if len(self.left) != len(self.right):
+            raise DatalogError("tuple comparison requires equal arity")
+
+    def variables(self) -> set[str]:
+        return {
+            term.name for term in self.left + self.right if isinstance(term, Var)
+        }
+
+    def __str__(self) -> str:
+        left = ", ".join(str(t) for t in self.left)
+        right = ", ".join(str(t) for t in self.right)
+        return f"({left}) {self.op} ({right})"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = function(args)``; evaluated once ``args`` are bound."""
+
+    target: Var
+    function: Callable[..., Value]
+    args: tuple[Term, ...]
+    label: str = "f"
+    expression: Expression | None = None  # SQL-renderable form when available
+
+    def variables(self) -> set[str]:
+        names = {self.target.name}
+        names.update(term.name for term in self.args if isinstance(term, Var))
+        return names
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.args)
+        return f"{self.target} = {self.label}({args})"
+
+
+Literal = Union[Atom, CondLit, Compare, Assign]
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    head: Atom
+    body: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.head.positive:
+            raise DatalogError("rule heads must be positive atoms")
+        if not self.body:
+            raise DatalogError("rules must have a non-empty body")
+
+    def body_atoms(self, *, positive: bool | None = None) -> list[Atom]:
+        atoms = [lit for lit in self.body if isinstance(lit, Atom)]
+        if positive is None:
+            return atoms
+        return [atom for atom in atoms if atom.positive is positive]
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} <- {body}"
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    rules: tuple[Rule, ...]
+    name: str = ""
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def derived_predicates(self) -> list[str]:
+        seen: list[str] = []
+        for rule in self.rules:
+            if rule.head.pred not in seen:
+                seen.append(rule.head.pred)
+        return seen
+
+    def referenced_predicates(self) -> set[str]:
+        preds: set[str] = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                if isinstance(literal, Atom):
+                    preds.add(literal.pred)
+        return preds
+
+    def rules_for(self, pred: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.head.pred == pred]
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+# ---------------------------------------------------------------------------
+# Fact stores
+# ---------------------------------------------------------------------------
+
+Fact = tuple
+FactSet = set
+
+
+@dataclass
+class FactStore:
+    """Extensional + derived facts, keyed by predicate name."""
+
+    facts: dict[str, set[Fact]] = field(default_factory=dict)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Iterable[Fact]]) -> "FactStore":
+        return cls({name: set(facts) for name, facts in mapping.items()})
+
+    def predicate(self, name: str) -> set[Fact]:
+        return self.facts.setdefault(name, set())
+
+    def has(self, name: str) -> bool:
+        return name in self.facts
+
+    def add(self, name: str, fact: Fact) -> None:
+        self.predicate(name).add(fact)
+
+    def copy(self) -> "FactStore":
+        return FactStore({name: set(facts) for name, facts in self.facts.items()})

@@ -1,0 +1,217 @@
+"""Bottom-up evaluation of non-recursive Datalog with stratified negation.
+
+The version genealogy is acyclic and no SMO rule set is recursive (the paper
+relies on this: "As neither the rules for a single SMO nor the version
+genealogy have cycles, there is no recursion at all"), so evaluation is a
+single pass over derived predicates in dependency order. Within one rule
+body, literals are greedily reordered so that every literal is evaluated
+only once its variables are sufficiently bound (safety).
+"""
+
+from __future__ import annotations
+
+import graphlib
+from collections.abc import Iterable, Mapping
+
+from repro.datalog.ast import (
+    Assign,
+    Atom,
+    Compare,
+    CondLit,
+    Const,
+    Fact,
+    Literal,
+    Rule,
+    RuleSet,
+    Term,
+    Var,
+)
+from repro.errors import DatalogError
+
+Bindings = dict[str, object]
+
+
+def _term_value(term: Term, bindings: Bindings) -> tuple[bool, object]:
+    """Return ``(is_bound, value)`` for a term under ``bindings``."""
+    if isinstance(term, Const):
+        return True, term.value
+    if term.name in bindings:
+        return True, bindings[term.name]
+    return False, None
+
+
+def _all_bound(terms: Iterable[Term], bindings: Bindings) -> bool:
+    return all(_term_value(term, bindings)[0] for term in terms)
+
+
+def _match_fact(terms: tuple[Term, ...], fact: Fact, bindings: Bindings) -> Bindings | None:
+    """Try to extend ``bindings`` so that ``terms`` match ``fact``."""
+    if len(terms) != len(fact):
+        return None
+    extended = dict(bindings)
+    for term, value in zip(terms, fact):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term.name, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term.name] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+class _Unbound:
+    pass
+
+
+_UNBOUND = _Unbound()
+
+
+def _literal_ready(literal: Literal, bindings: Bindings) -> bool:
+    """Can ``literal`` be evaluated now without enumerating unbound vars?"""
+    if isinstance(literal, Atom):
+        if literal.positive:
+            return True  # positive atoms generate bindings
+        return True  # negative atoms treat unbound vars as wildcards safely
+    if isinstance(literal, CondLit):
+        return _all_bound((term for _, term in literal.columns), bindings)
+    if isinstance(literal, Compare):
+        return _all_bound(literal.left + literal.right, bindings)
+    if isinstance(literal, Assign):
+        return _all_bound(literal.args, bindings)
+    raise DatalogError(f"unknown literal {literal!r}")  # pragma: no cover
+
+
+def _score_literal(literal: Literal, bindings: Bindings) -> tuple[int, int]:
+    """Ordering heuristic: prefer filters/assignments once evaluable, then
+    positive atoms with the most bound terms, and negative atoms last."""
+    if isinstance(literal, (CondLit, Compare, Assign)):
+        return (0, 0)
+    assert isinstance(literal, Atom)
+    bound = sum(1 for term in literal.terms if _term_value(term, bindings)[0])
+    if literal.positive:
+        return (1, -bound)
+    return (2, -bound)
+
+
+def _evaluate_body(
+    body: list[Literal],
+    bindings: Bindings,
+    store: Mapping[str, set[Fact]],
+    out: list[Bindings],
+) -> None:
+    if not body:
+        out.append(bindings)
+        return
+
+    ready = [lit for lit in body if _literal_ready(lit, bindings)]
+    if not ready:
+        raise DatalogError(f"unsafe rule body: no literal evaluable under {sorted(bindings)}")
+    # Negative atoms must wait until every other literal had a chance to bind
+    # their variables; only pick one if nothing else is left.
+    positives = [lit for lit in ready if not (isinstance(lit, Atom) and not lit.positive)]
+    pool = positives or ready
+    literal = min(pool, key=lambda lit: _score_literal(lit, bindings))
+    rest = list(body)
+    rest.remove(literal)
+
+    if isinstance(literal, Atom) and literal.positive:
+        facts = store.get(literal.pred, frozenset())
+        for fact in facts:
+            extended = _match_fact(literal.terms, fact, bindings)
+            if extended is not None:
+                _evaluate_body(rest, extended, store, out)
+        return
+
+    if isinstance(literal, Atom):  # negative
+        facts = store.get(literal.pred, frozenset())
+        for fact in facts:
+            if _match_fact(literal.terms, fact, bindings) is not None:
+                return  # a matching fact exists: negation fails
+        _evaluate_body(rest, bindings, store, out)
+        return
+
+    if isinstance(literal, CondLit):
+        row = {
+            column: _term_value(term, bindings)[1] for column, term in literal.columns
+        }
+        holds = literal.expression.evaluate(row) is True
+        if holds == literal.positive:
+            _evaluate_body(rest, bindings, store, out)
+        return
+
+    if isinstance(literal, Compare):
+        left = tuple(_term_value(term, bindings)[1] for term in literal.left)
+        right = tuple(_term_value(term, bindings)[1] for term in literal.right)
+        equal = left == right
+        if equal == (literal.op == "="):
+            _evaluate_body(rest, bindings, store, out)
+        return
+
+    if isinstance(literal, Assign):
+        args = [_term_value(term, bindings)[1] for term in literal.args]
+        value = literal.function(*args)
+        name = literal.target.name
+        if name in bindings:
+            if bindings[name] == value:
+                _evaluate_body(rest, bindings, store, out)
+            return
+        extended = dict(bindings)
+        extended[name] = value
+        _evaluate_body(rest, extended, store, out)
+        return
+
+    raise DatalogError(f"unknown literal {literal!r}")  # pragma: no cover
+
+
+def _dependency_order(rules: RuleSet) -> list[str]:
+    derived = set(rules.derived_predicates())
+    sorter: graphlib.TopologicalSorter[str] = graphlib.TopologicalSorter()
+    for pred in derived:
+        deps = set()
+        for rule in rules.rules_for(pred):
+            for literal in rule.body:
+                if isinstance(literal, Atom) and literal.pred in derived:
+                    if literal.pred != pred:
+                        deps.add(literal.pred)
+                    elif literal.positive:
+                        raise DatalogError(f"recursive rules for {pred!r} are not supported")
+        sorter.add(pred, *deps)
+    try:
+        return list(sorter.static_order())
+    except graphlib.CycleError as exc:
+        raise DatalogError(f"cyclic rule dependencies: {exc.args[1]}") from None
+
+
+def evaluate(
+    rules: RuleSet,
+    extensional: Mapping[str, Iterable[Fact]],
+) -> dict[str, set[Fact]]:
+    """Evaluate ``rules`` bottom-up over the extensional facts.
+
+    Returns the derived predicates only. Extensional predicates missing from
+    ``extensional`` are treated as empty (the paper's Lemma 2 situation:
+    the non-materialized side's auxiliary tables simply do not exist).
+    """
+    store: dict[str, set[Fact]] = {name: set(facts) for name, facts in extensional.items()}
+    derived: dict[str, set[Fact]] = {}
+    for pred in _dependency_order(rules):
+        results: set[Fact] = set(store.get(pred, set()) if pred in derived else set())
+        for rule in rules.rules_for(pred):
+            matches: list[Bindings] = []
+            _evaluate_body(list(rule.body), {}, store, matches)
+            for bindings in matches:
+                fact = []
+                for term in rule.head.terms:
+                    bound, value = _term_value(term, bindings)
+                    if not bound:
+                        raise DatalogError(
+                            f"unbound head variable {term} in rule {rule}"
+                        )
+                    fact.append(value)
+                results.add(tuple(fact))
+        derived[pred] = results
+        store[pred] = set(results)
+    return derived

@@ -1,0 +1,705 @@
+"""The paper's simplification Lemmas 1–5 as rule-set transformations.
+
+Section 5 proves bidirectionality by composing the two mapping rule sets of
+an SMO and simplifying the composition to the identity rule set. The lemmas
+implemented here are exactly the paper's tool kit:
+
+- **Lemma 1 (Deduction)** — unfolding a derived literal by its defining
+  rules (positive and negative case) lives in :mod:`repro.datalog.compose`.
+- **Lemma 2 (Empty predicate)** — :func:`drop_empty_predicates`.
+- **Lemma 3 (Tautology)** — :func:`tautology_merge_pass`, including the
+  equality variant the paper uses to rewrite Rule 118 into Rule 121.
+- **Lemma 4 (Contradiction)** — :func:`normalize_rule` returns ``None``.
+- **Lemma 5 (Unique key)** — first-argument unification inside
+  :func:`normalize_rule`.
+
+Additionally `:func:`subsumption_pass`` removes rules implied by more
+general ones (used implicitly in Appendix A, e.g. Rules 107/109 subsumed by
+Rule 108) and :func:`case_merge_pass` performs the closing case analysis
+over ``ω``-comparisons under explicit domain axioms (the paper's implicit
+assumption that payload rows are never entirely ``ω``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from itertools import product
+
+from repro.datalog.symbolic import (
+    OMEGA,
+    SAtom,
+    SCompare,
+    SCond,
+    SConst,
+    SLiteral,
+    SRule,
+    STerm,
+    SVar,
+    complement,
+    find_renaming,
+    fresh_var,
+)
+
+Trace = list[str]
+
+
+def _note(trace: Trace | None, message: str) -> None:
+    if trace is not None:
+        trace.append(message)
+
+
+# ---------------------------------------------------------------------------
+# Per-rule normalization (Lemmas 4 and 5, ground comparisons, dedup)
+# ---------------------------------------------------------------------------
+
+
+def _substitute_rule(rule: SRule, old: str, new: STerm) -> SRule:
+    return rule.substitute({old: new})
+
+
+def _is_anon_name(name: str) -> bool:
+    return name.startswith("_") or "#" in name
+
+
+def _variable_counts(head_terms: Sequence[STerm], body: Sequence[SLiteral]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+
+    def bump(terms: Iterable[STerm]) -> None:
+        for term in terms:
+            if isinstance(term, SVar):
+                counts[term.name] = counts.get(term.name, 0) + 1
+
+    bump(head_terms)
+    for literal in body:
+        if isinstance(literal, (SAtom, SCond)):
+            bump(literal.terms)
+        elif isinstance(literal, SCompare):
+            bump((literal.left, literal.right))
+        else:
+            bump((literal.target, *literal.args))
+    return counts
+
+
+def _literal_key(literal: SLiteral, counts: dict[str, int]) -> tuple:
+    """Canonical key treating variables occurring only once in the rule as
+    interchangeable — ``¬R(p, _)`` and ``¬R(p, X)`` with local ``X`` denote
+    the same NOT-EXISTS check."""
+
+    def canon(term: STerm) -> object:
+        if isinstance(term, SVar) and counts.get(term.name, 0) <= 1:
+            return "•"
+        return term
+
+    if isinstance(literal, SAtom):
+        return ("atom", literal.pred, literal.positive, tuple(canon(t) for t in literal.terms))
+    if isinstance(literal, SCond):
+        return ("cond", literal.name, literal.positive, tuple(canon(t) for t in literal.terms))
+    if isinstance(literal, SCompare):
+        normalized = literal.normalized()
+        return ("cmp", normalized.op, canon(normalized.left), canon(normalized.right))
+    return ("assign", literal.function, canon(literal.target), tuple(canon(t) for t in literal.args))
+
+
+def _dedup_body(head_terms: Sequence[STerm], body: Sequence[SLiteral]) -> tuple[SLiteral, ...]:
+    counts = _variable_counts(head_terms, body)
+    seen_keys: set[tuple] = set()
+    kept: list[SLiteral] = []
+    for literal in body:
+        if isinstance(literal, SCompare):
+            literal = literal.normalized()
+        key = _literal_key(literal, counts)
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        kept.append(literal)
+    return tuple(kept)
+
+
+def _unify_unique_keys(rule: SRule) -> SRule | None:
+    """Lemma 5: positive atoms of one predicate sharing their key term have
+    all remaining terms pairwise equal; unify them by substitution."""
+    changed = True
+    while changed:
+        changed = False
+        atoms = [lit for lit in rule.body if isinstance(lit, SAtom) and lit.positive]
+        for i, first in enumerate(atoms):
+            for second in atoms[i + 1 :]:
+                if first.pred != second.pred or not first.terms or not second.terms:
+                    continue
+                if first.terms[0] != second.terms[0]:
+                    continue
+                for t1, t2 in zip(first.terms[1:], second.terms[1:]):
+                    if t1 == t2:
+                        continue
+                    # Prefer replacing anonymous variables by named ones so
+                    # rule heads keep their readable variable names.
+                    if isinstance(t2, SVar) and isinstance(t1, SVar) and _is_anon_name(t1.name):
+                        rule = _substitute_rule(rule, t1.name, t2)
+                    elif isinstance(t2, SVar):
+                        rule = _substitute_rule(rule, t2.name, t1)
+                    elif isinstance(t1, SVar):
+                        rule = _substitute_rule(rule, t1.name, t2)
+                    else:
+                        return None  # two different constants: contradiction
+                    changed = True
+                    break
+                if changed:
+                    break
+            if changed:
+                break
+    return rule
+
+
+def _merge_same_constant_vars(rule: SRule) -> SRule:
+    """If ``X = c`` and ``Y = c`` both hold, ``X`` and ``Y`` are equal."""
+    seen: dict[SConst, SVar] = {}
+    for literal in rule.body:
+        if (
+            isinstance(literal, SCompare)
+            and literal.op == "="
+            and isinstance(literal.left, SVar)
+            and isinstance(literal.right, SConst)
+        ):
+            representative = seen.get(literal.right)
+            if representative is None:
+                seen[literal.right] = literal.left
+            elif representative != literal.left:
+                return _merge_same_constant_vars(
+                    _substitute_rule(rule, literal.left.name, representative)
+                )
+    return rule
+
+
+def _is_contradictory(body: Sequence[SLiteral]) -> bool:
+    """Lemma 4, including the wildcard-aware atom case: a positive atom
+    witnesses existence, so a negative atom whose terms each equal the
+    positive atom's term (or are free local variables) contradicts it."""
+    positives = [l for l in body if isinstance(l, SAtom) and l.positive]
+    negatives = [l for l in body if isinstance(l, SAtom) and not l.positive]
+    bound: set[str] = set()
+    for literal in body:
+        if isinstance(literal, SAtom) and literal.positive:
+            bound |= literal.variables()
+    for negative in negatives:
+        for positive in positives:
+            if negative.pred != positive.pred or len(negative.terms) != len(positive.terms):
+                continue
+            if all(
+                n_term == p_term
+                or (isinstance(n_term, SVar) and n_term.name not in bound)
+                for n_term, p_term in zip(negative.terms, positive.terms)
+            ):
+                return True
+    conds = [l for l in body if isinstance(l, SCond)]
+    for i, first in enumerate(conds):
+        for second in conds[i + 1 :]:
+            if (
+                first.name == second.name
+                and first.terms == second.terms
+                and first.positive != second.positive
+            ):
+                return True
+    compares = [l.normalized() for l in body if isinstance(l, SCompare)]
+    for i, first in enumerate(compares):
+        for second in compares[i + 1 :]:
+            if first.left == second.left and first.right == second.right and first.op != second.op:
+                return True
+    return False
+
+
+def normalize_rule(rule: SRule) -> SRule | None:
+    """Normalize one rule; ``None`` means the rule can never fire (Lemma 4)."""
+    while True:
+        before = rule
+        # An equality binding a variable that occurs nowhere else is
+        # trivially satisfiable and can be dropped.
+        counts = _variable_counts(rule.head.terms, rule.body)
+        pruned: list[SLiteral] = []
+        for literal in rule.body:
+            if (
+                isinstance(literal, SCompare)
+                and literal.op == "="
+                and isinstance(literal.left, SVar)
+                and isinstance(literal.right, SConst)
+                and counts.get(literal.left.name, 0) <= 1
+            ):
+                continue
+            if (
+                isinstance(literal, SCompare)
+                and literal.op == "="
+                and isinstance(literal.right, SVar)
+                and isinstance(literal.left, SConst)
+                and counts.get(literal.right.name, 0) <= 1
+            ):
+                continue
+            pruned.append(literal)
+        rule = SRule(rule.head, tuple(pruned))
+        # Substitute variable-to-variable/constant-free equalities; keep
+        # var = constant comparisons as literals for the closing case merge.
+        body: list[SLiteral] = []
+        substitution: tuple[str, STerm] | None = None
+        for literal in rule.body:
+            if isinstance(literal, SCompare):
+                if literal.left == literal.right:
+                    if literal.op == "!=":
+                        return None
+                    continue  # trivially true
+                if isinstance(literal.left, SConst) and isinstance(literal.right, SConst):
+                    if (literal.left == literal.right) != (literal.op == "="):
+                        return None
+                    continue
+                if (
+                    literal.op == "="
+                    and isinstance(literal.left, SVar)
+                    and isinstance(literal.right, SVar)
+                    and substitution is None
+                ):
+                    substitution = (literal.right.name, literal.left)
+                    continue
+                if (
+                    literal.op == "="
+                    and isinstance(literal.left, SConst)
+                    and isinstance(literal.right, SVar)
+                ):
+                    literal = SCompare("=", literal.right, literal.left)
+            body.append(literal)
+        rule = SRule(rule.head, tuple(body))
+        if substitution is not None:
+            rule = _substitute_rule(rule, substitution[0], substitution[1])
+        rule = _merge_same_constant_vars(rule)
+        unified = _unify_unique_keys(rule)
+        if unified is None:
+            return None
+        rule = SRule(unified.head, _dedup_body(unified.head.terms, unified.body))
+        if _is_contradictory(rule.body):
+            return None
+        if rule == before:
+            return rule
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2
+# ---------------------------------------------------------------------------
+
+
+def drop_empty_predicates(
+    rules: Iterable[SRule], empty: set[str], trace: Trace | None = None
+) -> list[SRule]:
+    """Lemma 2: rules with a positive literal on an empty predicate vanish;
+    negative literals on empty predicates are trivially true."""
+    result: list[SRule] = []
+    for rule in rules:
+        body: list[SLiteral] = []
+        dead = False
+        for literal in rule.body:
+            if isinstance(literal, SAtom) and literal.pred in empty:
+                if literal.positive:
+                    dead = True
+                    break
+                continue
+            body.append(literal)
+        if dead:
+            _note(trace, f"Lemma 2: removed (empty predicate): {rule}")
+            continue
+        if len(body) != len(rule.body):
+            _note(trace, f"Lemma 2: pruned empty-predicate negations in: {rule}")
+        if body:
+            result.append(SRule(rule.head, tuple(body)))
+        else:
+            result.append(rule)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3 (tautology), incl. the equality variant, and subsumption
+# ---------------------------------------------------------------------------
+
+
+def _exact_complements(
+    mapped: SLiteral,
+    partner: SLiteral,
+    *,
+    local_pattern: set[str],
+    local_target: set[str],
+) -> bool:
+    """True when ``mapped`` is exactly the complement literal ``partner``,
+    allowing renaming only between variables local to their rules.
+
+    This strictness matters for soundness: ``R(p, A)`` with ``A`` bound
+    elsewhere is *stronger* than ``∃x R(p, x)`` and must not be treated as
+    the complement of ``¬R(p, _)``.
+    """
+    from repro.datalog.symbolic import _literal_shape, _literal_terms
+
+    if _literal_shape(mapped) != _literal_shape(partner):
+        return False
+    pairing: dict[str, str] = {}
+    for m_term, p_term in zip(_literal_terms(mapped), _literal_terms(partner)):
+        if m_term == p_term:
+            continue
+        if (
+            isinstance(m_term, SVar)
+            and isinstance(p_term, SVar)
+            and m_term.name in local_pattern
+            and p_term.name in local_target
+        ):
+            bound = pairing.get(m_term.name)
+            if bound is None:
+                pairing[m_term.name] = p_term.name
+            elif bound != p_term.name:
+                return False
+            continue
+        return False
+    return True
+
+
+def _try_tautology_merge(first: SRule, second: SRule) -> SRule | None:
+    """If the rules agree on all but one complementary literal pair, return
+    the merged rule with that literal dropped (Lemma 3)."""
+    if len(first.body) != len(second.body):
+        return None
+    for literal in first.body:
+        partner = complement(literal)
+        if partner is None:
+            continue
+        reduced_first = first.without(literal)
+        shared_first = reduced_first.variables() | first.head.variables()
+        local_target = {
+            name for name in literal.variables() if name not in shared_first
+        }
+        for candidate in second.body:
+            if complement(candidate) is None:
+                continue
+            reduced_second = second.without(candidate)
+            shared_second = reduced_second.variables() | second.head.variables()
+            theta = find_renaming(reduced_second, reduced_first, exact=True)
+            if theta is None:
+                continue
+            mapped = candidate.substitute(theta)
+            local_pattern = {
+                name for name in candidate.variables() if name not in shared_second
+            }
+            if _exact_complements(
+                mapped, partner, local_pattern=local_pattern, local_target=local_target
+            ):
+                return normalize_rule(reduced_first)
+    return None
+
+
+def _try_equality_merge(general: SRule, special: SRule) -> SRule | None:
+    """The paper's Rule-118→121 move: ``H ← B, x≠y`` merges with the rule
+    obtained from ``H ← B`` by unifying ``x`` and ``y``; the result is
+    ``H ← B`` with ``x`` and ``y`` independent."""
+    if len(general.body) != len(special.body) + 1:
+        return None
+    for literal in general.body:
+        if not isinstance(literal, SCompare) or literal.op != "!=":
+            continue
+        if not isinstance(literal.left, SVar) or not isinstance(literal.right, SVar):
+            continue
+        candidate = general.without(literal)
+        unified = normalize_rule(
+            candidate.substitute({literal.right.name: literal.left})
+        )
+        if unified is None:
+            continue
+        if find_renaming(unified, special, exact=True) is not None:
+            return normalize_rule(candidate)
+    return None
+
+
+def tautology_merge_pass(rules: list[SRule], trace: Trace | None = None) -> list[SRule]:
+    changed = True
+    while changed:
+        changed = False
+        for i, first in enumerate(rules):
+            for j, second in enumerate(rules):
+                if i >= j or first.head.pred != second.head.pred:
+                    continue
+                merged = _try_tautology_merge(first, second)
+                if merged is None:
+                    merged = _try_equality_merge(first, second)
+                if merged is None:
+                    merged = _try_equality_merge(second, first)
+                if merged is not None:
+                    _note(trace, f"Lemma 3: merged\n    {first}\n    {second}\n  into {merged}")
+                    rules = [r for k, r in enumerate(rules) if k not in (i, j)]
+                    rules.append(merged)
+                    changed = True
+                    break
+            if changed:
+                break
+    return rules
+
+
+def subsumption_pass(rules: list[SRule], trace: Trace | None = None) -> list[SRule]:
+    """Remove rules whose body is a superset of a more general same-head rule
+    (e.g. Appendix A Rules 107 and 109 subsumed by Rule 108), and duplicate
+    rules modulo renaming."""
+    kept: list[SRule] = []
+    for rule in rules:
+        subsumed = False
+        for other in rules:
+            if other is rule or other.head.pred != rule.head.pred:
+                continue
+            if len(other.body) > len(rule.body):
+                continue
+            if len(other.body) == len(rule.body):
+                # duplicates: keep only the first occurrence
+                if rules.index(other) < rules.index(rule) and find_renaming(
+                    other, rule, exact=True
+                ):
+                    subsumed = True
+                    break
+                continue
+            if find_renaming(other, rule, exact=False) is not None:
+                subsumed = True
+                break
+        if subsumed:
+            _note(trace, f"Subsumption: removed {rule}")
+        else:
+            kept.append(rule)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Closing case analysis over ω-comparisons
+# ---------------------------------------------------------------------------
+
+CaseAtom = tuple[STerm, SConst]
+DomainAxiom = Callable[[SRule, list[CaseAtom]], list[frozenset[CaseAtom]]]
+
+
+def omega_completeness_axiom(data_predicates: set[str]) -> DomainAxiom:
+    """Domain axiom: no stored data row has *all* payload parts equal ``ω``.
+
+    This is the paper's implicit assumption behind the outer-join null
+    fillers: a tuple that is entirely null filler would not exist.
+    """
+
+    def axiom(base_rule: SRule, case_atoms: list[CaseAtom]) -> list[frozenset[CaseAtom]]:
+        impossible: list[frozenset[CaseAtom]] = []
+        for literal in base_rule.body:
+            if not isinstance(literal, SAtom) or not literal.positive:
+                continue
+            if literal.pred not in data_predicates:
+                continue
+            payload = literal.terms[1:]
+            covering = frozenset(
+                (term, OMEGA) for term in payload if (term, OMEGA) in case_atoms
+            )
+            if covering and len(covering) == len(payload):
+                impossible.append(covering)
+        return impossible
+
+    return axiom
+
+
+def _split_case_literals(rule: SRule) -> tuple[SRule, dict[CaseAtom, bool]]:
+    base_body: list[SLiteral] = []
+    cases: dict[CaseAtom, bool] = {}
+    for literal in rule.body:
+        if (
+            isinstance(literal, SCompare)
+            and isinstance(literal.right, SConst)
+        ):
+            cases[(literal.left, literal.right)] = literal.op == "="
+        elif (
+            isinstance(literal, SCompare)
+            and isinstance(literal.left, SConst)
+        ):
+            cases[(literal.right, literal.left)] = literal.op == "="
+        else:
+            base_body.append(literal)
+    return SRule(rule.head, tuple(base_body)), cases
+
+
+def generalize_head_constants(rule: SRule) -> SRule:
+    """Replace constants in head positions by fresh constrained variables so
+    case analysis can line the rule up with its constant-free siblings."""
+    new_terms: list[STerm] = []
+    extra: list[SLiteral] = []
+    for term in rule.head.terms:
+        if isinstance(term, SConst):
+            var = fresh_var("h")
+            new_terms.append(var)
+            extra.append(SCompare("=", var, term))
+        else:
+            new_terms.append(term)
+    if not extra:
+        return rule
+    return SRule(
+        SAtom(rule.head.pred, tuple(new_terms), rule.head.positive),
+        rule.body + tuple(extra),
+    )
+
+
+def case_merge_pass(
+    rules: list[SRule],
+    axioms: Sequence[DomainAxiom] = (),
+    trace: Trace | None = None,
+) -> list[SRule]:
+    """Merge a group of rules that differ only in ``term (=|≠) const``
+    literals when together they cover every possible case allowed by the
+    domain axioms."""
+    prepared = [normalize_rule(generalize_head_constants(rule)) for rule in rules]
+    work = [rule for rule in prepared if rule is not None]
+    result: list[SRule] = []
+    consumed: set[int] = set()
+    for i, rule in enumerate(work):
+        if i in consumed:
+            continue
+        base, cases = _split_case_literals(rule)
+        if not cases:
+            result.append(rule)
+            continue
+        group: list[tuple[int, dict[CaseAtom, bool]]] = [(i, cases)]
+        for j in range(i + 1, len(work)):
+            if j in consumed:
+                continue
+            other_base, other_cases = _split_case_literals(work[j])
+            theta = find_renaming(other_base, base, exact=True)
+            if theta is None:
+                continue
+            mapped = {
+                ((theta.get(term.name, term) if isinstance(term, SVar) else term), const): value
+                for (term, const), value in other_cases.items()
+            }
+            group.append((j, mapped))
+        atoms = sorted(
+            {atom for _, cases_ in group for atom in cases_},
+            key=lambda atom: (str(atom[0]), str(atom[1])),
+        )
+        impossible: set[frozenset[CaseAtom]] = set()
+        for axiom in axioms:
+            impossible.update(axiom(base, atoms))
+        covered: set[tuple[bool, ...]] = set()
+        for _, cases_ in group:
+            free = [atom for atom in atoms if atom not in cases_]
+            for assignment in product((False, True), repeat=len(free)):
+                full = dict(cases_)
+                full.update(zip(free, assignment))
+                covered.add(tuple(full[atom] for atom in atoms))
+        complete = True
+        for assignment in product((False, True), repeat=len(atoms)):
+            truth = dict(zip(atoms, assignment))
+            excluded = any(
+                all(truth.get(atom, False) for atom in axiom_set)
+                for axiom_set in impossible
+            )
+            if excluded:
+                continue
+            if tuple(truth[atom] for atom in atoms) not in covered:
+                complete = False
+                break
+        if complete and len(group) >= 1:
+            merged = normalize_rule(base)
+            if merged is not None:
+                _note(
+                    trace,
+                    "Case analysis: merged "
+                    + ", ".join(str(work[k]) for k, _ in group)
+                    + f"\n  into {merged}",
+                )
+                result.append(merged)
+                consumed.update(k for k, _ in group)
+                continue
+        result.append(rule)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Full simplification driver
+# ---------------------------------------------------------------------------
+
+
+def _apply_domain_knowledge(
+    rule: SRule,
+    omega_free: set[str],
+    total_conditions: set[str],
+) -> SRule | None:
+    """Two pieces of knowledge the paper uses implicitly:
+
+    - *ω-freeness*: stored data tables never contain the null filler ``ω``
+      (an all-ω tuple would not exist). For a single-payload atom
+      ``q(p, t)`` with ``q`` ω-free, ``t ≠ ω`` is implied and ``t = ω``
+      contradictory.
+    - *Totality* of value-computing conditions (the ``f`` of ADD/DROP
+      COLUMN): ``fB(A, b)`` with an otherwise-unused output ``b`` always
+      holds for some ``b`` and can be dropped.
+    """
+    counts = _variable_counts(rule.head.terms, rule.body)
+    implied_nonomega: set[STerm] = set()
+    for literal in rule.body:
+        if (
+            isinstance(literal, SAtom)
+            and literal.positive
+            and literal.pred in omega_free
+            and len(literal.terms) == 2  # key + single payload part
+        ):
+            implied_nonomega.add(literal.terms[1])
+    body: list[SLiteral] = []
+    for literal in rule.body:
+        if isinstance(literal, SCompare):
+            normalized = literal.normalized()
+            sides = (normalized.left, normalized.right)
+            if OMEGA in sides:
+                other = sides[0] if sides[1] == OMEGA else sides[1]
+                if other in implied_nonomega:
+                    if normalized.op == "=":
+                        return None
+                    continue  # t ≠ ω is implied; drop it
+        if (
+            isinstance(literal, SCond)
+            and literal.positive
+            and literal.name in total_conditions
+            and literal.terms
+            and isinstance(literal.terms[-1], SVar)
+            and counts.get(literal.terms[-1].name, 0) <= 1
+        ):
+            continue  # total function: some output always exists
+        body.append(literal)
+    if len(body) == len(rule.body):
+        return rule
+    return SRule(rule.head, tuple(body))
+
+
+def simplify_rules(
+    rules: Iterable[SRule],
+    *,
+    empty_predicates: set[str] | None = None,
+    axioms: Sequence[DomainAxiom] = (),
+    omega_free: set[str] | None = None,
+    total_conditions: set[str] | None = None,
+    trace: Trace | None = None,
+    max_rounds: int = 40,
+) -> list[SRule]:
+    """Apply Lemmas 2–5, subsumption, and the closing case analysis until a
+    fixpoint is reached."""
+    current = list(rules)
+    if empty_predicates:
+        current = drop_empty_predicates(current, empty_predicates, trace)
+    for _ in range(max_rounds):
+        before = list(current)
+        normalized: list[SRule] = []
+        for rule in current:
+            clean = normalize_rule(rule)
+            if clean is not None and (omega_free or total_conditions):
+                clean = _apply_domain_knowledge(
+                    clean, omega_free or set(), total_conditions or set()
+                )
+                if clean is not None:
+                    clean = normalize_rule(clean)
+            if clean is None:
+                _note(trace, f"Lemma 4: removed contradictory rule: {rule}")
+            else:
+                normalized.append(clean)
+        current = subsumption_pass(normalized, trace)
+        current = tautology_merge_pass(current, trace)
+        current = subsumption_pass(current, trace)
+        if axioms:
+            current = case_merge_pass(current, axioms, trace)
+            current = subsumption_pass(current, trace)
+        if current == before:
+            break
+    return current

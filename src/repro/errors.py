@@ -1,0 +1,73 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors, catalog violations, and runtime
+data-access problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ExpressionError(ReproError):
+    """Problem while lexing, parsing, or evaluating a scalar expression."""
+
+
+class ParseError(ReproError):
+    """Syntactic problem in a BiDEL script or expression.
+
+    Carries the 1-based ``line``/``column`` of the offending token when
+    known, so callers can point users at the exact script location.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            location += f", column {column})" if column is not None else ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or schema lookup failure."""
+
+
+class DatalogError(ReproError):
+    """Malformed Datalog rules or an evaluation-time violation."""
+
+
+class CatalogError(ReproError):
+    """Violation of schema-version-catalog invariants (unknown versions,
+    dangling table versions, cyclic genealogies, ...)."""
+
+
+class MaterializationError(CatalogError):
+    """A requested materialization schema violates validity conditions (55)
+    or (56) of the paper, or names unknown table versions."""
+
+
+class EvolutionError(ReproError):
+    """A BiDEL evolution cannot be applied to the given source version."""
+
+
+class AccessError(ReproError):
+    """Invalid data access through a schema version (unknown table/column,
+    bad value types, write to a dropped version, ...)."""
+
+
+class TransactionError(ReproError):
+    """A write batch could not be applied atomically."""
+
+
+class VerificationError(ReproError):
+    """A bidirectionality check (symbolic or runtime) failed."""
+
+
+class BackendError(ReproError):
+    """Failure in an execution backend (e.g. the SQLite delta-code backend)."""

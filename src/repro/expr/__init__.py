@@ -1,0 +1,48 @@
+"""SQL-flavoured scalar/boolean expression language.
+
+BiDEL embeds expressions in three places: the partitioning conditions of
+``SPLIT``/``MERGE``/``DECOMPOSE ON``/``JOIN ON``, the value functions of
+``ADD COLUMN``/``DROP COLUMN``, and user predicates passed to the data-access
+API. This package provides one shared implementation with SQL ``NULL``
+(three-valued) semantics, rendering to SQL text, and structural helpers
+(column collection, renaming, negation).
+"""
+
+from repro.expr.ast import (
+    Binary,
+    BoolOp,
+    Column,
+    Comparison,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+    conjunction,
+    is_true,
+    negate,
+)
+from repro.expr.lexer import Token, tokenize
+from repro.expr.parser import parse_expression
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "Column",
+    "Unary",
+    "Binary",
+    "Comparison",
+    "BoolOp",
+    "IsNull",
+    "InList",
+    "Like",
+    "FuncCall",
+    "parse_expression",
+    "tokenize",
+    "Token",
+    "negate",
+    "conjunction",
+    "is_true",
+]

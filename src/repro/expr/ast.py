@@ -1,0 +1,460 @@
+"""Expression AST with SQL three-valued-logic evaluation and SQL rendering.
+
+Values are plain Python objects: ``None`` plays SQL ``NULL``, plus ``bool``,
+``int``, ``float``, and ``str``. Every node implements:
+
+- ``evaluate(row)`` — evaluate against a mapping from column name to value,
+  honouring SQL NULL propagation and Kleene logic for AND/OR/NOT;
+- ``to_sql()`` — render as SQL text (SQLite-compatible dialect);
+- ``columns()`` — the set of referenced column names;
+- ``rename(mapping)`` — a structurally-new expression with columns renamed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ExpressionError
+
+Value = Any  # None | bool | int | float | str
+
+
+def is_true(value: Value) -> bool:
+    """SQL WHERE semantics: only a genuine true counts (NULL is not true)."""
+    return value is True
+
+
+class Expression:
+    """Abstract base class for all expression nodes."""
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expression":
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Value
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        return self.value
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if self.value is True:
+            return "TRUE"
+        if self.value is False:
+            return "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return self
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    name: str
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExpressionError(f"unknown column {self.name!r} in expression") from None
+
+    def to_sql(self) -> str:
+        return self.name
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return Column(mapping.get(self.name, self.name))
+
+
+@dataclass(frozen=True)
+class Unary(Expression):
+    op: str  # '-', '+', 'NOT'
+    operand: Expression
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        value = self.operand.evaluate(row)
+        if self.op == "NOT":
+            if value is None:
+                return None
+            return not is_true(value)
+        if value is None:
+            return None
+        if self.op == "-":
+            return -value
+        return +value
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}({self.operand.to_sql()})"
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return Unary(self.op, self.operand.rename(mapping))
+
+
+_ARITH: dict[str, Callable[[Value, Value], Value]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class Binary(Expression):
+    op: str  # '+', '-', '*', '/', '%', '||'
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        if self.op == "||":
+            return _sql_text(left) + _sql_text(right)
+        if self.op == "/":
+            if right == 0:
+                return None  # SQLite yields NULL on division by zero
+            if isinstance(left, int) and isinstance(right, int):
+                return _truncate_toward_zero(left / right)
+            return left / right
+        if self.op == "%":
+            if right == 0:
+                return None
+            return _truncate_toward_zero(math.fmod(left, right))
+        return _ARITH[self.op](left, right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return Binary(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+
+def _truncate_toward_zero(value: float) -> int | float:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return int(value) if not isinstance(value, float) else math.trunc(value)
+
+
+def _sql_text(value: Value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return value if isinstance(value, str) else str(value)
+
+
+_COMPARATORS: dict[str, Callable[[Value, Value], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_NEGATED_COMPARATOR = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot compare {left!r} {self.op} {right!r}: {exc}"
+            ) from None
+
+    def to_sql(self) -> str:
+        op = "<>" if self.op == "!=" else self.op
+        return f"({self.left.to_sql()} {op} {self.right.to_sql()})"
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return Comparison(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+
+@dataclass(frozen=True)
+class BoolOp(Expression):
+    op: str  # 'AND' | 'OR'
+    items: tuple[Expression, ...]
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        saw_null = False
+        for item in self.items:
+            value = item.evaluate(row)
+            if value is None:
+                saw_null = True
+            elif self.op == "AND" and not is_true(value):
+                return False
+            elif self.op == "OR" and is_true(value):
+                return True
+        if saw_null:
+            return None
+        return self.op == "AND"
+
+    def to_sql(self) -> str:
+        joined = f" {self.op} ".join(item.to_sql() for item in self.items)
+        return f"({joined})"
+
+    def columns(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for item in self.items:
+            result |= item.columns()
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return BoolOp(self.op, tuple(item.rename(mapping) for item in self.items))
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        value = self.operand.evaluate(row)
+        return (value is not None) if self.negated else (value is None)
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return IsNull(self.operand.rename(mapping), self.negated)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        saw_null = False
+        for item in self.items:
+            candidate = item.evaluate(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def to_sql(self) -> str:
+        values = ", ".join(item.to_sql() for item in self.items)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {keyword} ({values}))"
+
+    def columns(self) -> frozenset[str]:
+        result = self.operand.columns()
+        for item in self.items:
+            result |= item.columns()
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return InList(
+            self.operand.rename(mapping),
+            tuple(item.rename(mapping) for item in self.items),
+            self.negated,
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        value = self.operand.evaluate(row)
+        pattern = self.pattern.evaluate(row)
+        if value is None or pattern is None:
+            return None
+        regex = _like_to_regex(str(pattern))
+        matched = regex.match(str(value)) is not None
+        return (not matched) if self.negated else matched
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql()} {keyword} {self.pattern.to_sql()})"
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns() | self.pattern.columns()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return Like(self.operand.rename(mapping), self.pattern.rename(mapping), self.negated)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def _func_concat(*args: Value) -> Value:
+    if any(arg is None for arg in args):
+        return None
+    return "".join(_sql_text(arg) for arg in args)
+
+
+def _func_coalesce(*args: Value) -> Value:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _null_propagating(fn: Callable[..., Value]) -> Callable[..., Value]:
+    def wrapped(*args: Value) -> Value:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapped
+
+
+def _func_substr(text: str, start: int, length: int | None = None) -> str:
+    # SQL substr is 1-based; negative start counts from the end like SQLite.
+    text = _sql_text(text)
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = max(len(text) + start, 0)
+    else:
+        begin = 0
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + max(length, 0)]
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Value]] = {
+    "upper": _null_propagating(lambda s: _sql_text(s).upper()),
+    "lower": _null_propagating(lambda s: _sql_text(s).lower()),
+    "length": _null_propagating(lambda s: len(_sql_text(s))),
+    "abs": _null_propagating(abs),
+    "round": _null_propagating(lambda x, n=0: round(x, int(n))),
+    "coalesce": _func_coalesce,
+    "concat": _func_concat,
+    "substr": _null_propagating(_func_substr),
+    "least": _null_propagating(min),
+    "greatest": _null_propagating(max),
+    "mod": _null_propagating(lambda a, b: None if b == 0 else _truncate_toward_zero(math.fmod(a, b))),
+}
+
+# SQLite spellings for functions whose names differ from ours.
+_SQLITE_FUNCTION_NAMES = {"least": "min", "greatest": "max"}
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    name: str  # stored lower-case
+    args: tuple[Expression, ...]
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        try:
+            fn = SCALAR_FUNCTIONS[self.name]
+        except KeyError:
+            raise ExpressionError(f"unknown function {self.name!r}") from None
+        return fn(*(arg.evaluate(row) for arg in self.args))
+
+    def to_sql(self) -> str:
+        if self.name == "concat":
+            # SQLite has no CONCAT; render as a || chain.
+            if not self.args:
+                return "''"
+            return "(" + " || ".join(arg.to_sql() for arg in self.args) + ")"
+        sql_name = _SQLITE_FUNCTION_NAMES.get(self.name, self.name)
+        rendered = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{sql_name}({rendered})"
+
+    def columns(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for arg in self.args:
+            result |= arg.columns()
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return FuncCall(self.name, tuple(arg.rename(mapping) for arg in self.args))
+
+
+def negate(expression: Expression) -> Expression:
+    """Structural negation with light simplification.
+
+    Used to build ``NOT cR(A)`` literals when instantiating SMO rules; pushing
+    the negation into comparisons keeps generated SQL readable.
+    """
+    if isinstance(expression, Unary) and expression.op == "NOT":
+        return expression.operand
+    if isinstance(expression, Comparison):
+        return Comparison(_NEGATED_COMPARATOR[expression.op], expression.left, expression.right)
+    if isinstance(expression, IsNull):
+        return IsNull(expression.operand, not expression.negated)
+    if isinstance(expression, Literal) and isinstance(expression.value, bool):
+        return Literal(not expression.value)
+    return Unary("NOT", expression)
+
+
+def conjunction(expressions: list[Expression]) -> Expression:
+    """AND together a list of expressions (TRUE when the list is empty)."""
+    if not expressions:
+        return Literal(True)
+    if len(expressions) == 1:
+        return expressions[0]
+    return BoolOp("AND", tuple(expressions))

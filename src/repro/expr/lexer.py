@@ -1,0 +1,144 @@
+"""Tokenizer shared by the expression parser and the BiDEL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+SEMICOLON = "SEMICOLON"
+DOT = "DOT"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>", "||")
+_ONE_CHAR_OPS = "+-*/%<>="
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.kind == IDENT and self.value.upper() == word.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an ``EOF`` token.
+
+    Identifiers may end in ``!`` (schema version names like ``Do!``).
+    Comments run from ``--`` to end of line.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+
+    def advance(n: int) -> None:
+        nonlocal i, line, column
+        for _ in range(n):
+            if i < length and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            advance(1)
+            continue
+        if text[i : i + 2] == "--":
+            while i < length and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if ch == "'":
+            advance(1)
+            chars: list[str] = []
+            closed = False
+            while i < length:
+                if text[i] == "'":
+                    if text[i + 1 : i + 2] == "'":
+                        chars.append("'")
+                        advance(2)
+                        continue
+                    advance(1)
+                    closed = True
+                    break
+                chars.append(text[i])
+                advance(1)
+            if not closed:
+                raise ParseError("unterminated string literal", start_line, start_column)
+            tokens.append(Token(STRING, "".join(chars), start_line, start_column))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            j = i
+            saw_dot = False
+            while j < length and (text[j].isdigit() or (text[j] == "." and not saw_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a separator, not a decimal point.
+                    if j + 1 >= length or not text[j + 1].isdigit():
+                        break
+                    saw_dot = True
+                j += 1
+            value = text[i:j]
+            advance(j - i)
+            tokens.append(Token(NUMBER, value, start_line, start_column))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j < length and text[j] == "!":
+                j += 1
+            value = text[i:j]
+            advance(j - i)
+            tokens.append(Token(IDENT, value, start_line, start_column))
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            advance(2)
+            normalized = "!=" if two == "<>" else two
+            tokens.append(Token(OP, normalized, start_line, start_column))
+            continue
+        if ch in _ONE_CHAR_OPS:
+            advance(1)
+            tokens.append(Token(OP, ch, start_line, start_column))
+            continue
+        if ch == "(":
+            advance(1)
+            tokens.append(Token(LPAREN, ch, start_line, start_column))
+            continue
+        if ch == ")":
+            advance(1)
+            tokens.append(Token(RPAREN, ch, start_line, start_column))
+            continue
+        if ch == ",":
+            advance(1)
+            tokens.append(Token(COMMA, ch, start_line, start_column))
+            continue
+        if ch == ";":
+            advance(1)
+            tokens.append(Token(SEMICOLON, ch, start_line, start_column))
+            continue
+        if ch == ".":
+            advance(1)
+            tokens.append(Token(DOT, ch, start_line, start_column))
+            continue
+        raise ParseError(f"unexpected character {ch!r}", start_line, start_column)
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens

@@ -1,0 +1,136 @@
+"""Relational-algebra helpers over :class:`~repro.relational.table.Table`.
+
+These operators serve three purposes: they are the building blocks of the
+hand-optimized baseline delta code (Section 8.2's "handwritten SQL"), they
+give tests an independent way to compute expected results, and they document
+the intended semantics of the generated delta code in executable form.
+
+All operators are pure: they take tables (or keyed row dicts) and return new
+keyed row dicts, never mutating inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.expr.ast import Expression, is_true
+from repro.relational.schema import TableSchema
+from repro.relational.table import Key, Row, Table
+from repro.relational.types import Value
+
+KeyedRows = dict[Key, Row]
+
+
+def _rows_of(source: Table | Mapping[Key, Row]) -> Mapping[Key, Row]:
+    if isinstance(source, Table):
+        return source.as_dict()
+    return source
+
+
+def select(source: Table, predicate: Expression) -> KeyedRows:
+    """σ — keep rows where ``predicate`` evaluates to true (SQL semantics)."""
+    schema = source.schema
+    result: KeyedRows = {}
+    for key, row in source:
+        if is_true(predicate.evaluate(schema.row_to_mapping(row))):
+            result[key] = row
+    return result
+
+
+def reject(source: Table, predicate: Expression) -> KeyedRows:
+    """σ¬ — keep rows where ``predicate`` is *not* true (false or NULL).
+
+    This matches Datalog negation of a condition literal: ``¬cR(A)`` holds
+    whenever ``cR(A)`` does not evaluate to true.
+    """
+    schema = source.schema
+    result: KeyedRows = {}
+    for key, row in source:
+        if not is_true(predicate.evaluate(schema.row_to_mapping(row))):
+            result[key] = row
+    return result
+
+
+def project(source: Table, names: Sequence[str]) -> KeyedRows:
+    """π — project to ``names`` (keyed by the same ``p``)."""
+    indices = [source.schema.index_of(name) for name in names]
+    return {key: tuple(row[i] for i in indices) for key, row in source}
+
+
+def extend(source: Table, compute: Callable[[dict[str, Value]], Value]) -> KeyedRows:
+    """Append one computed column to every row."""
+    schema = source.schema
+    return {
+        key: row + (compute(schema.row_to_mapping(row)),)
+        for key, row in source
+    }
+
+
+def key_join(left: Table | Mapping[Key, Row], right: Table | Mapping[Key, Row]) -> KeyedRows:
+    """⋈ₚ — join two keyed row sets on the tuple identifier ``p``."""
+    left_rows = _rows_of(left)
+    right_rows = _rows_of(right)
+    if len(left_rows) > len(right_rows):
+        left_rows, right_rows = right_rows, left_rows
+        return {key: right_rows[key] + row for key, row in left_rows.items() if key in right_rows}
+    return {key: row + right_rows[key] for key, row in left_rows.items() if key in right_rows}
+
+
+def key_union(*sources: Table | Mapping[Key, Row]) -> KeyedRows:
+    """∪ₚ — union of keyed row sets; earlier sources win on key conflicts.
+
+    The precedence mirrors the paper's *primus inter pares* rule for twins
+    (Rule 4/5 of the SPLIT semantics: ``R`` wins over ``S``).
+    """
+    result: KeyedRows = {}
+    for source in sources:
+        for key, row in _rows_of(source).items():
+            result.setdefault(key, row)
+    return result
+
+
+def key_difference(
+    left: Table | Mapping[Key, Row], right: Table | Mapping[Key, Row]
+) -> KeyedRows:
+    """∖ₚ — rows of ``left`` whose key does not occur in ``right``."""
+    right_keys = _rows_of(right).keys()
+    return {key: row for key, row in _rows_of(left).items() if key not in right_keys}
+
+
+def natural_key_semijoin(
+    left: Table | Mapping[Key, Row], right: Table | Mapping[Key, Row]
+) -> KeyedRows:
+    """⋉ₚ — rows of ``left`` whose key occurs in ``right``."""
+    right_keys = _rows_of(right).keys()
+    return {key: row for key, row in _rows_of(left).items() if key in right_keys}
+
+
+def condition_join(
+    left: Table,
+    right: Table,
+    predicate: Expression,
+) -> list[tuple[Key, Key, Row, Row]]:
+    """θ-join on an arbitrary condition over the concatenated row.
+
+    Returns ``(left_key, right_key, left_row, right_row)`` matches; the
+    caller decides how to mint identifiers for result tuples (Appendix B.6).
+    """
+    left_schema = left.schema
+    right_schema = right.schema
+    matches: list[tuple[Key, Key, Row, Row]] = []
+    right_rows = list(right)
+    for left_key, left_row in left:
+        left_mapping = left_schema.row_to_mapping(left_row)
+        for right_key, right_row in right_rows:
+            combined = dict(left_mapping)
+            combined.update(right_schema.row_to_mapping(right_row))
+            if is_true(predicate.evaluate(combined)):
+                matches.append((left_key, right_key, left_row, right_row))
+    return matches
+
+
+def materialize(schema: TableSchema, rows: Mapping[Key, Row]) -> Table:
+    """Build a fresh Table from keyed rows."""
+    table = Table(schema)
+    table.replace_all(rows)
+    return table

@@ -1,0 +1,59 @@
+"""Database snapshots and diffs.
+
+Used by migration tests to prove that a ``MATERIALIZE`` run changes *where*
+data lives without changing *what* any schema version sees, and by the
+transaction layer to roll back failed write batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.database import Database
+from repro.relational.table import Key, Row
+
+
+@dataclass(frozen=True)
+class TableDiff:
+    added: dict[Key, Row] = field(default_factory=dict)
+    removed: dict[Key, Row] = field(default_factory=dict)
+    changed: dict[Key, tuple[Row, Row]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+
+@dataclass(frozen=True)
+class DatabaseDiff:
+    created_tables: tuple[str, ...]
+    dropped_tables: tuple[str, ...]
+    table_diffs: dict[str, TableDiff]
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.created_tables
+            and not self.dropped_tables
+            and all(diff.empty for diff in self.table_diffs.values())
+        )
+
+
+def diff_databases(before: Database, after: Database) -> DatabaseDiff:
+    before_names = set(before.tables)
+    after_names = set(after.tables)
+    created = tuple(sorted(after_names - before_names))
+    dropped = tuple(sorted(before_names - after_names))
+    table_diffs: dict[str, TableDiff] = {}
+    for name in sorted(before_names & after_names):
+        old_rows = before.table(name).as_dict()
+        new_rows = after.table(name).as_dict()
+        added = {key: row for key, row in new_rows.items() if key not in old_rows}
+        removed = {key: row for key, row in old_rows.items() if key not in new_rows}
+        changed = {
+            key: (old_rows[key], new_rows[key])
+            for key in old_rows.keys() & new_rows.keys()
+            if old_rows[key] != new_rows[key]
+        }
+        table_diffs[name] = TableDiff(added=added, removed=removed, changed=changed)
+    return DatabaseDiff(created, dropped, table_diffs)

@@ -1,0 +1,101 @@
+"""Column data types and value coercion.
+
+The type system is deliberately small (the paper's evolution language is
+type-agnostic): ``INTEGER``, ``REAL``, ``TEXT``, ``BOOLEAN``, and the
+wildcard ``ANY``. ``None`` plays SQL ``NULL`` and is a member of every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+Value = Any
+
+
+class DataType(enum.Enum):
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    ANY = "ANY"
+
+    @classmethod
+    def parse(cls, name: str) -> "DataType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOL": cls.BOOLEAN,
+            "BOOLEAN": cls.BOOLEAN,
+            "ANY": cls.ANY,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise SchemaError(f"unknown data type {name!r}") from None
+
+    def to_sql(self) -> str:
+        if self is DataType.ANY:
+            return ""  # SQLite columns may be typeless
+        if self is DataType.BOOLEAN:
+            return "INTEGER"  # SQLite convention
+        return self.value
+
+
+def coerce_value(value: Value, dtype: DataType) -> Value:
+    """Validate/convert ``value`` for a column of type ``dtype``.
+
+    Follows permissive SQL-ish coercion: ints are accepted for REAL columns,
+    bools for INTEGER columns. Raises :class:`SchemaError` on a clear type
+    mismatch instead of silently storing junk.
+    """
+    if value is None or dtype is DataType.ANY:
+        return value
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SchemaError(f"cannot store {value!r} in an INTEGER column")
+    if dtype is DataType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise SchemaError(f"cannot store {value!r} in a REAL column")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise SchemaError(f"cannot store {value!r} in a TEXT column")
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        raise SchemaError(f"cannot store {value!r} in a BOOLEAN column")
+    raise SchemaError(f"unhandled data type {dtype}")  # pragma: no cover
+
+
+def infer_type(value: Value) -> DataType:
+    """Best-effort type inference for schema-less inputs."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.REAL
+    if isinstance(value, str):
+        return DataType.TEXT
+    return DataType.ANY

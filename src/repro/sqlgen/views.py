@@ -1,0 +1,191 @@
+"""Figure 7: translating Datalog rules into view definitions.
+
+A derived table version is defined by several rules; the generated view is
+the UNION of one subquery per rule. Within a subquery:
+
+- positive relational literals become FROM entries with join conditions on
+  shared variables;
+- condition literals become WHERE conjuncts;
+- negative literals become ``NOT EXISTS`` subselects;
+- function bindings become computed select expressions;
+- tuple comparisons expand column-wise.
+
+Every table and view carries the InVerDa tuple identifier as an explicit
+leading column ``p``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.datalog.ast import Assign, Atom, Compare, CondLit, Const, Rule, RuleSet, Term, Var
+from repro.errors import BackendError
+from repro.util.naming import quote_identifier
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+class _Subquery:
+    """Assembles one rule's subquery."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        table_names: Mapping[str, str],
+        table_columns: Mapping[str, tuple[str, ...]],
+        head_columns: tuple[str, ...],
+    ):
+        self.rule = rule
+        self.table_names = table_names
+        self.table_columns = table_columns
+        self.head_columns = head_columns
+        self.aliases: list[tuple[str, str]] = []  # (alias, table)
+        self.var_sources: dict[str, str] = {}  # var -> "alias.column"
+        self.where: list[str] = []
+        self.computed: dict[str, str] = {}  # var -> SQL expression
+
+    def _term_sql(self, term: Term) -> str:
+        if isinstance(term, Const):
+            return _sql_literal(term.value)
+        if term.name in self.var_sources:
+            return self.var_sources[term.name]
+        if term.name in self.computed:
+            return self.computed[term.name]
+        raise BackendError(f"unbound variable {term.name!r} in rule {self.rule}")
+
+    def _bind_atom(self, atom: Atom, alias: str) -> list[str]:
+        columns = ("p", *self.table_columns[atom.pred])
+        constraints: list[str] = []
+        for term, column in zip(atom.terms, columns):
+            reference = f"{alias}.{quote_identifier(column)}"
+            if isinstance(term, Const):
+                if term.value is None:
+                    constraints.append(f"{reference} IS NULL")
+                else:
+                    constraints.append(f"{reference} = {_sql_literal(term.value)}")
+            elif term.name in self.var_sources:
+                constraints.append(f"{reference} = {self.var_sources[term.name]}")
+            else:
+                self.var_sources[term.name] = reference
+        return constraints
+
+    def build(self) -> str:
+        positives = [lit for lit in self.rule.body if isinstance(lit, Atom) and lit.positive]
+        negatives = [lit for lit in self.rule.body if isinstance(lit, Atom) and not lit.positive]
+        conditions = [lit for lit in self.rule.body if isinstance(lit, CondLit)]
+        compares = [lit for lit in self.rule.body if isinstance(lit, Compare)]
+        assigns = [lit for lit in self.rule.body if isinstance(lit, Assign)]
+
+        for index, atom in enumerate(positives):
+            alias = f"t{index}"
+            self.aliases.append((alias, self.table_names[atom.pred]))
+            self.where.extend(self._bind_atom(atom, alias))
+
+        for assign in assigns:
+            if assign.expression is None:
+                raise BackendError(
+                    f"function binding {assign} has no SQL form; identifier "
+                    "generation is handled by the engine, not by views"
+                )
+            rendered = assign.expression.to_sql()
+            for column in assign.expression.columns():
+                source = self.var_sources.get(self._column_var(column))
+                if source is None:
+                    raise BackendError(f"no source for column {column!r} in {assign}")
+                rendered = _replace_column(rendered, column, source)
+            self.computed[assign.target.name] = rendered
+
+        for cond in conditions:
+            rendered = cond.expression.to_sql()
+            for column, term in cond.columns:
+                rendered = _replace_column(rendered, column, self._term_sql(term))
+            self.where.append(rendered if cond.positive else f"NOT ({rendered})")
+
+        for compare in compares:
+            pairs = [
+                f"{self._term_sql(left)} IS NOT {self._term_sql(right)}"
+                for left, right in zip(compare.left, compare.right)
+            ]
+            if compare.op == "!=":
+                self.where.append("(" + " OR ".join(pairs) + ")")
+            else:
+                equal_pairs = [
+                    f"{self._term_sql(left)} IS {self._term_sql(right)}"
+                    for left, right in zip(compare.left, compare.right)
+                ]
+                self.where.append("(" + " AND ".join(equal_pairs) + ")")
+
+        for negative in negatives:
+            alias = "n"
+            columns = ("p", *self.table_columns[negative.pred])
+            constraints = []
+            for term, column in zip(negative.terms, columns):
+                reference = f"{alias}.{quote_identifier(column)}"
+                if isinstance(term, Const):
+                    if term.value is None:
+                        constraints.append(f"{reference} IS NULL")
+                    else:
+                        constraints.append(f"{reference} = {_sql_literal(term.value)}")
+                elif term.name in self.var_sources or term.name in self.computed:
+                    constraints.append(f"{reference} = {self._term_sql(term)}")
+                # otherwise: don't-care position
+            body = f"SELECT 1 FROM {self.table_names[negative.pred]} {alias}"
+            if constraints:
+                body += " WHERE " + " AND ".join(constraints)
+            self.where.append(f"NOT EXISTS ({body})")
+
+        select_items = []
+        for term, column in zip(self.rule.head.terms, ("p", *self.head_columns)):
+            select_items.append(f"{self._term_sql(term)} AS {quote_identifier(column)}")
+        sql = "SELECT " + ", ".join(select_items)
+        sql += " FROM " + ", ".join(f"{table} {alias}" for alias, table in self.aliases)
+        if self.where:
+            sql += " WHERE " + " AND ".join(self.where)
+        return sql
+
+    def _column_var(self, column: str) -> str:
+        # Assign expressions refer to source columns by name; the SMO rule
+        # builders name variables x0..xn in column order, so map through
+        # the first positive atom's binding.
+        for atom in self.rule.body_atoms(positive=True):
+            columns = ("p", *self.table_columns[atom.pred])
+            for term, col in zip(atom.terms, columns):
+                if col == column and isinstance(term, Var):
+                    return term.name
+        raise BackendError(f"column {column!r} not bound by any positive literal")
+
+
+def _replace_column(sql: str, column: str, replacement: str) -> str:
+    import re
+
+    return re.sub(rf"\b{re.escape(column)}\b", replacement, sql)
+
+
+def view_sql_for_rules(
+    view_name: str,
+    head_pred: str,
+    rules: RuleSet,
+    *,
+    table_names: Mapping[str, str],
+    table_columns: Mapping[str, tuple[str, ...]],
+    head_columns: tuple[str, ...],
+) -> str:
+    """``CREATE VIEW`` implementing every rule with head ``head_pred``."""
+    subqueries = []
+    for rule in rules.rules_for(head_pred):
+        subqueries.append(
+            _Subquery(rule, table_names, table_columns, head_columns).build()
+        )
+    if not subqueries:
+        raise BackendError(f"no rules derive {head_pred!r}")
+    body = "\nUNION\n".join(subqueries)
+    return f"CREATE VIEW {view_name} AS\n{body};"

@@ -1,0 +1,124 @@
+"""Two-SMO micro-benchmark scenarios (Section 8.3, Figure 13).
+
+Every scenario is a chain ``v1 —SMO1→ v2 —SMO2→ v3`` where the middle
+version always contains a table ``R(a, b, c)`` (exactly the paper's setup).
+The first SMO is chosen so that its target is that table; the second SMO
+consumes it. Reading ``v3`` under the three materializations (v1, v2, v3)
+then measures zero, one, and two propagation hops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import InVerDa
+from repro.errors import ReproError
+
+# SMO1 variants: each creates R(a, b, c) in version v2.
+TWO_SMO_FIRST = {
+    "add_column": (
+        "CREATE TABLE R(a INTEGER, b INTEGER)",
+        "ADD COLUMN c AS a + b INTO R",
+    ),
+    "drop_column": (
+        "CREATE TABLE R(a INTEGER, b INTEGER, c INTEGER, d INTEGER)",
+        "DROP COLUMN d FROM R DEFAULT 0",
+    ),
+    "split": (
+        "CREATE TABLE T0(a INTEGER, b INTEGER, c INTEGER)",
+        "SPLIT TABLE T0 INTO R WITH a % 2 = 0",
+    ),
+    "merge": (
+        "CREATE TABLE M1(a INTEGER, b INTEGER, c INTEGER); "
+        "CREATE TABLE M2(a INTEGER, b INTEGER, c INTEGER)",
+        "MERGE TABLE M1 (a % 2 = 0), M2 (a % 2 = 1) INTO R",
+    ),
+    "join_pk": (
+        "CREATE TABLE L1(a INTEGER); CREATE TABLE L2(b INTEGER, c INTEGER)",
+        "JOIN TABLE L1, L2 INTO R ON PK",
+    ),
+    "decompose_pk": (
+        "CREATE TABLE W0(a INTEGER, b INTEGER, c INTEGER, x INTEGER)",
+        "DECOMPOSE TABLE W0 INTO R(a, b, c), X0(x) ON PK",
+    ),
+}
+
+# SMO2 variants: each consumes R(a, b, c) from version v2.
+TWO_SMO_SECOND = {
+    "add_column": "ADD COLUMN d AS a * 2 INTO R",
+    "drop_column": "DROP COLUMN c FROM R DEFAULT 0",
+    "split": "SPLIT TABLE R INTO R1 WITH a % 2 = 0, R2 WITH a % 2 = 1",
+    "decompose_pk": "DECOMPOSE TABLE R INTO Ra(a), Rbc(b, c) ON PK",
+}
+
+# The table to read in version v3, per SMO2 variant.
+V3_READ_TABLE = {
+    "add_column": "R",
+    "drop_column": "R",
+    "split": "R1",
+    "decompose_pk": "Rbc",
+}
+
+
+def _load_rows(engine: InVerDa, first: str, rows: int, seed: int) -> None:
+    rng = random.Random(seed)
+    v1 = engine.connect("v1")
+
+    def values() -> dict:
+        return {"a": rng.randint(0, 1000), "b": rng.randint(0, 1000), "c": rng.randint(0, 1000)}
+
+    if first == "add_column":
+        v1.insert_many("R", [{"a": rng.randint(0, 1000), "b": rng.randint(0, 1000)} for _ in range(rows)])
+    elif first == "drop_column":
+        v1.insert_many(
+            "R",
+            [dict(values(), d=rng.randint(0, 1000)) for _ in range(rows)],
+        )
+    elif first == "split":
+        v1.insert_many("T0", [values() for _ in range(rows)])
+    elif first == "merge":
+        half = rows // 2
+        v1.insert_many("M1", [dict(values(), a=2 * i) for i in range(half)])
+        v1.insert_many("M2", [dict(values(), a=2 * i + 1) for i in range(rows - half)])
+    elif first == "join_pk":
+        keys = v1.insert_many("L1", [{"a": rng.randint(0, 1000)} for _ in range(rows)])
+        # Join on PK: reuse the same internal keys for the partner rows.
+        engine_conn = v1
+        from repro.bidel.smo.base import TableChange
+
+        tv = engine.genealogy.schema_version("v1").table_version("L2")
+        change = TableChange(
+            upserts={
+                key: tv.schema.row_from_mapping(
+                    {"b": rng.randint(0, 1000), "c": rng.randint(0, 1000)}
+                )
+                for key in keys
+            }
+        )
+        engine.apply_change(tv, change)
+        del engine_conn
+    elif first == "decompose_pk":
+        v1.insert_many("W0", [dict(values(), x=rng.randint(0, 1000)) for _ in range(rows)])
+    else:  # pragma: no cover
+        raise ReproError(f"unknown first SMO {first!r}")
+
+
+def build_two_smo_scenario(
+    first: str,
+    second: str,
+    rows: int = 1000,
+    *,
+    seed: int = 7,
+) -> InVerDa:
+    """Build ``v1 —first→ v2 —second→ v3`` with ``rows`` rows loaded in v1."""
+    if first not in TWO_SMO_FIRST:
+        raise ReproError(f"unknown first SMO {first!r}; choose from {sorted(TWO_SMO_FIRST)}")
+    if second not in TWO_SMO_SECOND:
+        raise ReproError(f"unknown second SMO {second!r}; choose from {sorted(TWO_SMO_SECOND)}")
+    create_sql, first_smo = TWO_SMO_FIRST[first]
+    engine = InVerDa()
+    engine.execute(f"CREATE SCHEMA VERSION v1 WITH {create_sql};")
+    _load_rows(engine, first, rows, seed)
+    engine.execute(f"CREATE SCHEMA VERSION v2 FROM v1 WITH {first_smo};")
+    engine.execute(f"CREATE SCHEMA VERSION v3 FROM v2 WITH {TWO_SMO_SECOND[second]};")
+    return engine

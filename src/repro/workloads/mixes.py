@@ -1,0 +1,96 @@
+"""Workload mixes and the adoption curve used by Figures 9–11.
+
+The paper's flexible-materialization experiments mix 50 % reads, 20 %
+inserts, 20 % updates, and 10 % deletes, and shift the share of accesses
+from the old to the new schema version following the Technology Adoption
+Life Cycle; we model the cumulative adoption with a logistic curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.access import VersionConnection
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation shares; they must sum to 1."""
+
+    reads: float
+    inserts: float
+    updates: float
+    deletes: float
+
+    def __post_init__(self) -> None:
+        total = self.reads + self.inserts + self.updates + self.deletes
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload mix must sum to 1, got {total}")
+
+
+PAPER_MIX = WorkloadMix(reads=0.5, inserts=0.2, updates=0.2, deletes=0.1)
+READ_ONLY = WorkloadMix(reads=1.0, inserts=0.0, updates=0.0, deletes=0.0)
+WRITE_ONLY = WorkloadMix(reads=0.0, inserts=1.0, updates=0.0, deletes=0.0)
+
+
+def adoption_curve(slices: int, *, steepness: float = 10.0) -> list[float]:
+    """Fraction of accesses on the *new* version per time slice, following
+    a logistic Technology-Adoption-Life-Cycle shape from ~0 to ~1."""
+    values = []
+    for index in range(slices):
+        x = index / max(slices - 1, 1)
+        values.append(1.0 / (1.0 + math.exp(-steepness * (x - 0.5))))
+    return values
+
+
+def run_mix(
+    connection: VersionConnection,
+    table: str,
+    operations: int,
+    mix: WorkloadMix,
+    rng: random.Random,
+    *,
+    make_row,
+    update_row,
+) -> None:
+    """Execute ``operations`` randomized operations against ``table``.
+
+    ``make_row()`` produces values for inserts; ``update_row(row)`` returns
+    the SET mapping for updates. Victims for updates/deletes are sampled
+    from a periodically refreshed key snapshot, like a client application
+    that lists tasks and then modifies one of them.
+    """
+    keys: list[int] = []
+
+    def refresh_keys() -> None:
+        keys.clear()
+        keys.extend(connection.select_keyed(table).keys())
+
+    refresh_keys()
+    for _ in range(operations):
+        choice = rng.random()
+        if choice < mix.reads:
+            connection.select(table)
+        elif choice < mix.reads + mix.inserts:
+            keys.append(connection.insert(table, make_row()))
+        elif choice < mix.reads + mix.inserts + mix.updates:
+            if not keys:
+                refresh_keys()
+            if keys:
+                victim = rng.choice(keys)
+                row = connection.select_keyed(table).get(victim)
+                if row is None:
+                    refresh_keys()
+                    continue
+                connection.update_by_key(table, victim, update_row(row))
+        else:
+            if not keys:
+                refresh_keys()
+            if keys:
+                victim = keys.pop(rng.randrange(len(keys)))
+                try:
+                    connection.delete_by_key(table, victim)
+                except Exception:
+                    refresh_keys()

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.bench.harness import ExperimentResult, all_experiments, get_experiment
+from repro.errors import ReproError
+
+
+class TestResultFormatting:
+    def test_format_contains_rows_and_notes(self):
+        result = ExperimentResult("x", "Title", ("a", "b"))
+        result.add("one", 1.5)
+        result.note("a note")
+        text = result.format()
+        assert "Title" in text and "one" in text and "a note" in text
+
+    def test_float_rendering(self):
+        result = ExperimentResult("x", "T", ("v",))
+        result.add(1234.5678)
+        result.add(0.1234)
+        text = result.format()
+        assert "1234.6" in text and "0.1234" in text
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        names = {e.name for e in all_experiments()}
+        assert {
+            "table2", "table3", "table4",
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "codegen", "ablation",
+        } <= names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            get_experiment("nope")
+
+
+class TestExperimentSmoke:
+    """Tiny-scale smoke runs proving every experiment executes end to end."""
+
+    def test_table2(self):
+        result = get_experiment("table2").run()
+        assert len(result.rows) == 5
+
+    def test_table3(self):
+        result = get_experiment("table3").run()
+        assert len(result.rows) == 6
+
+    def test_table4(self):
+        result = get_experiment("table4").run(scale=0.001, versions=40)
+        assert result.rows[-1][0] == "TOTAL"
+
+    def test_fig8(self):
+        result = get_experiment("fig8").run(num_tasks=200, writes=5, repeat=1)
+        assert len(result.rows) == 16
+
+    def test_fig9(self):
+        result = get_experiment("fig9").run(num_tasks=100, slices=3, ops_per_slice=3)
+        assert len(result.rows) == 3
+
+    def test_fig10(self):
+        result = get_experiment("fig10").run(num_tasks=100, slices=3, ops_per_slice=3)
+        assert len(result.rows) == 4
+
+    def test_fig11(self):
+        result = get_experiment("fig11").run(num_tasks=100, ops=3)
+        assert len(result.rows) == 15
+
+    def test_fig12(self):
+        result = get_experiment("fig12").run(scale=0.001, versions=12, repeat=1)
+        assert result.rows
+
+    def test_fig13(self):
+        result = get_experiment("fig13").run(sizes=(50,), repeat=1)
+        assert len(result.rows) == len(
+            __import__("repro.workloads.micro", fromlist=["TWO_SMO_FIRST"]).TWO_SMO_FIRST
+        )
+
+    def test_codegen(self):
+        result = get_experiment("codegen").run(num_tasks=200)
+        assert all(row[1] < 10_000 for row in result.rows)
+
+    def test_ablation(self):
+        result = get_experiment("ablation").run(num_tasks=200, writes=5)
+        assert len(result.rows) == 4
+
+    def test_cli_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table2" in out

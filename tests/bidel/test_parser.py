@@ -1,0 +1,198 @@
+import pytest
+
+from repro.bidel.ast import (
+    AddColumn,
+    CreateSchemaVersion,
+    CreateTable,
+    Decompose,
+    DropColumn,
+    DropSchemaVersion,
+    DropTable,
+    Join,
+    Materialize,
+    Merge,
+    RenameColumn,
+    RenameTable,
+    Split,
+)
+from repro.bidel.parser import parse_script, parse_smo
+from repro.errors import ParseError
+from repro.relational.types import DataType
+
+
+class TestSmoForms:
+    def test_create_table(self):
+        smo = parse_smo("CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER)")
+        assert isinstance(smo, CreateTable)
+        assert [c.name for c in smo.columns] == ["author", "task", "prio"]
+        assert smo.columns[2].dtype is DataType.INTEGER
+
+    def test_create_table_untyped(self):
+        smo = parse_smo("CREATE TABLE T(a, b)")
+        assert all(c.dtype is DataType.ANY for c in smo.columns)
+
+    def test_drop_table(self):
+        assert isinstance(parse_smo("DROP TABLE Task"), DropTable)
+
+    def test_rename_table(self):
+        smo = parse_smo("RENAME TABLE Task INTO Job")
+        assert isinstance(smo, RenameTable) and smo.new_name == "Job"
+
+    def test_rename_column(self):
+        smo = parse_smo("RENAME COLUMN author IN Author TO name")
+        assert isinstance(smo, RenameColumn)
+        assert (smo.table, smo.column, smo.new_name) == ("Author", "author", "name")
+
+    def test_add_column(self):
+        smo = parse_smo("ADD COLUMN total AS a + b INTO T")
+        assert isinstance(smo, AddColumn)
+        assert smo.function.columns() == {"a", "b"}
+
+    def test_drop_column(self):
+        smo = parse_smo("DROP COLUMN prio FROM Todo DEFAULT 1")
+        assert isinstance(smo, DropColumn)
+        assert smo.default.evaluate({}) == 1
+
+    def test_split_two_targets(self):
+        smo = parse_smo("SPLIT TABLE T INTO R WITH prio = 1, S WITH prio = 2")
+        assert isinstance(smo, Split)
+        assert smo.second_table == "S"
+
+    def test_split_single_target(self):
+        smo = parse_smo("SPLIT TABLE Task INTO Todo WITH prio = 1")
+        assert smo.second_table is None
+
+    def test_merge(self):
+        smo = parse_smo("MERGE TABLE R (a = 1), S (a = 2) INTO T")
+        assert isinstance(smo, Merge)
+
+    def test_decompose_pk(self):
+        smo = parse_smo("DECOMPOSE TABLE R INTO S(a, b), T(c) ON PK")
+        assert isinstance(smo, Decompose) and smo.kind.method == "PK"
+
+    def test_decompose_fk_short(self):
+        smo = parse_smo("DECOMPOSE TABLE task INTO task(task, prio), author(author) ON FK author")
+        assert smo.kind.method == "FK" and smo.kind.fk_column == "author"
+
+    def test_decompose_foreign_key_long_form(self):
+        smo = parse_smo(
+            "DECOMPOSE TABLE task INTO task(task, prio), author(author) ON FOREIGN KEY author"
+        )
+        assert smo.kind.method == "FK"
+
+    def test_decompose_on_condition(self):
+        smo = parse_smo("DECOMPOSE TABLE R INTO S(a), T(b) ON a = b")
+        assert smo.kind.method == "COND"
+
+    def test_join_pk(self):
+        smo = parse_smo("JOIN TABLE R, S INTO T ON PK")
+        assert isinstance(smo, Join) and not smo.outer
+
+    def test_outer_join(self):
+        smo = parse_smo("OUTER JOIN TABLE S, T INTO R ON PK")
+        assert smo.outer
+
+    def test_join_condition(self):
+        smo = parse_smo("JOIN TABLE R, S INTO T ON a = b")
+        assert smo.kind.method == "COND"
+
+
+class TestStatements:
+    def test_create_schema_version_from(self):
+        (stmt,) = parse_script(
+            "CREATE SCHEMA VERSION Do! FROM TasKy WITH "
+            "SPLIT TABLE Task INTO Todo WITH prio = 1; "
+            "DROP COLUMN prio FROM Todo DEFAULT 1;"
+        )
+        assert isinstance(stmt, CreateSchemaVersion)
+        assert stmt.name == "Do!" and stmt.source == "TasKy"
+        assert len(stmt.smos) == 2
+
+    def test_initial_version_without_from(self):
+        (stmt,) = parse_script("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a);")
+        assert stmt.source is None
+
+    def test_multiple_statements(self):
+        statements = parse_script(
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a);\n"
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS 0 INTO T;\n"
+            "MATERIALIZE 'v2';\n"
+            "DROP SCHEMA VERSION v1;"
+        )
+        kinds = [type(s) for s in statements]
+        assert kinds == [CreateSchemaVersion, CreateSchemaVersion, Materialize, DropSchemaVersion]
+
+    def test_materialize_quoted_targets(self):
+        (stmt,) = parse_script("MATERIALIZE 'TasKy2.task', 'TasKy2.author';")
+        assert stmt.targets == ("TasKy2.task", "TasKy2.author")
+
+    def test_materialize_unquoted(self):
+        (stmt,) = parse_script("MATERIALIZE TasKy2.task;")
+        assert stmt.targets == ("TasKy2.task",)
+
+    def test_paper_figure1_scripts_parse(self):
+        statements = parse_script(
+            """
+            CREATE SCHEMA VERSION Do! FROM TasKy WITH
+            SPLIT TABLE Task INTO Todo WITH prio=1;
+            DROP COLUMN prio FROM Todo DEFAULT 1;
+            CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+            DECOMPOSE TABLE task INTO task(task,prio), author(author) ON FOREIGN KEY author;
+            RENAME COLUMN author IN author TO name;
+            """
+        )
+        assert len(statements) == 2
+        assert all(len(s.smos) == 2 for s in statements)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SPLIT TABLE T INTO",
+            "CREATE SCHEMA VERSION WITH CREATE TABLE T(a);",
+            "MERGE TABLE R, S INTO T",
+            "DECOMPOSE TABLE R INTO S(a), T(b)",
+            "ADD COLUMN x INTO T",
+            "MATERIALIZE ;",
+            "RENAME COLUMN a TO b",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_script(bad)
+
+    def test_trailing_garbage_on_single_smo(self):
+        with pytest.raises(ParseError):
+            parse_smo("DROP TABLE T garbage")
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "CREATE TABLE T(a INTEGER, b TEXT)",
+            "DROP TABLE T",
+            "RENAME TABLE T INTO U",
+            "RENAME COLUMN a IN T TO b",
+            "ADD COLUMN c AS a + b INTO T",
+            "DROP COLUMN c FROM T DEFAULT 0",
+            "SPLIT TABLE T INTO R WITH a = 1, S WITH a = 2",
+            "MERGE TABLE R (a = 1), S (a = 2) INTO T",
+            "DECOMPOSE TABLE R INTO S(a), T(b) ON PK",
+            "DECOMPOSE TABLE R INTO S(a), T(b) ON FK b_id",
+            "JOIN TABLE R, S INTO T ON PK",
+            "OUTER JOIN TABLE S, T INTO R ON FK b_id",
+        ],
+    )
+    def test_parse_unparse_parse_fixpoint(self, text):
+        smo = parse_smo(text)
+        again = parse_smo(smo.unparse())
+        assert again.unparse() == smo.unparse()
+
+    def test_statement_unparse(self):
+        (stmt,) = parse_script(
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS 0 INTO T;"
+        )
+        (reparsed,) = parse_script(stmt.unparse())
+        assert reparsed.unparse() == stmt.unparse()

@@ -1,0 +1,113 @@
+import pytest
+
+from repro.catalog.materialization import (
+    current_materialization,
+    enumerate_valid_materializations,
+    materialization_for_versions,
+    physical_table_versions,
+    validate_materialization,
+)
+from repro.errors import MaterializationError
+from tests.conftest import build_paper_tasky
+
+
+@pytest.fixture
+def tasky_genealogy():
+    return build_paper_tasky().engine.genealogy
+
+
+def _smo_by_type(genealogy, smo_type):
+    return next(s for s in genealogy.evolution_smos() if s.smo_type == smo_type)
+
+
+class TestValidity:
+    def test_empty_schema_valid(self, tasky_genealogy):
+        assert validate_materialization(tasky_genealogy, []) == frozenset()
+
+    def test_condition_55_violation(self, tasky_genealogy):
+        # DROP COLUMN without its upstream SPLIT violates (55).
+        drop = _smo_by_type(tasky_genealogy, "DropColumn")
+        with pytest.raises(MaterializationError):
+            validate_materialization(tasky_genealogy, [drop])
+
+    def test_condition_56_violation(self, tasky_genealogy):
+        # SPLIT and DECOMPOSE both consume Task-0: violates (56).
+        split = _smo_by_type(tasky_genealogy, "Split")
+        decompose = _smo_by_type(tasky_genealogy, "Decompose")
+        with pytest.raises(MaterializationError):
+            validate_materialization(tasky_genealogy, [split, decompose])
+
+    def test_valid_chain(self, tasky_genealogy):
+        split = _smo_by_type(tasky_genealogy, "Split")
+        drop = _smo_by_type(tasky_genealogy, "DropColumn")
+        schema = validate_materialization(tasky_genealogy, [split, drop])
+        assert len(schema) == 2
+
+
+class TestEnumerationAndPhysical:
+    def test_tasky_has_exactly_five(self, tasky_genealogy):
+        """Section 8.3: 'the TasKy example has five valid materializations'."""
+        assert len(enumerate_valid_materializations(tasky_genealogy)) == 5
+
+    def test_table2_rows(self, tasky_genealogy):
+        """Table 2: each schema maps to the right physical tables."""
+        by_kinds = {}
+        for schema in enumerate_valid_materializations(tasky_genealogy):
+            kinds = frozenset(smo.smo_type for smo in schema)
+            names = tuple(sorted(tv.name for tv in physical_table_versions(tasky_genealogy, schema)))
+            by_kinds[kinds] = names
+        assert by_kinds[frozenset()] == ("Task",)
+        assert by_kinds[frozenset({"Split"})] == ("Todo",)
+        assert by_kinds[frozenset({"Split", "DropColumn"})] == ("Todo",)
+        assert by_kinds[frozenset({"Decompose"})] == ("Author", "Task")
+        assert by_kinds[frozenset({"Decompose", "RenameColumn"})] == ("Author", "Task")
+
+    def test_linear_chain_bound(self):
+        """A chain of N dependent SMOs has N+1 valid materializations."""
+        from repro.core.engine import InVerDa
+
+        engine = InVerDa()
+        engine.execute("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a);")
+        for index in range(3):
+            engine.execute(
+                f"CREATE SCHEMA VERSION v{index + 2} FROM v{index + 1} WITH "
+                f"ADD COLUMN c{index} AS 0 INTO T;"
+            )
+        assert len(enumerate_valid_materializations(engine.genealogy)) == 4
+
+    def test_independent_smos_bound(self):
+        """N independent SMOs have 2^N valid materializations."""
+        from repro.core.engine import InVerDa
+
+        engine = InVerDa()
+        engine.execute(
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE A(x); CREATE TABLE B(y); CREATE TABLE C(z);"
+        )
+        engine.execute(
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "ADD COLUMN x2 AS 0 INTO A; ADD COLUMN y2 AS 0 INTO B; ADD COLUMN z2 AS 0 INTO C;"
+        )
+        assert len(enumerate_valid_materializations(engine.genealogy)) == 8
+
+
+class TestMaterializeCommand:
+    def test_for_versions(self, tasky_genealogy):
+        version = tasky_genealogy.schema_version("TasKy2")
+        schema = materialization_for_versions(tasky_genealogy, version.tables.values())
+        kinds = {smo.smo_type for smo in schema}
+        assert kinds == {"Decompose", "RenameColumn"}
+
+    def test_conflicting_versions_rejected(self, tasky_genealogy):
+        do_tables = tasky_genealogy.schema_version("Do!").tables.values()
+        t2_tables = tasky_genealogy.schema_version("TasKy2").tables.values()
+        with pytest.raises(MaterializationError):
+            materialization_for_versions(
+                tasky_genealogy, list(do_tables) + list(t2_tables)
+            )
+
+    def test_current_materialization_tracks_engine(self):
+        scenario = build_paper_tasky()
+        assert current_materialization(scenario.engine.genealogy) == frozenset()
+        scenario.materialize("TasKy2")
+        kinds = {smo.smo_type for smo in current_materialization(scenario.engine.genealogy)}
+        assert kinds == {"Decompose", "RenameColumn"}

@@ -1,0 +1,212 @@
+"""Integration tests: the full TasKy lifecycle of Section 2 / Figure 1."""
+
+import pytest
+
+from repro.errors import AccessError, CatalogError, EvolutionError
+from tests.conftest import PAPER_ROWS, build_paper_tasky
+
+
+def tasks_in(connection, table="Task"):
+    return sorted(r["task"] for r in connection.select(table))
+
+
+class TestEvolution:
+    def test_versions_exist(self, paper_tasky):
+        assert paper_tasky.engine.version_names() == ["Do!", "TasKy", "TasKy2"]
+
+    def test_do_schema(self, paper_tasky):
+        assert paper_tasky.do.columns("Todo") == ("author", "task")
+
+    def test_tasky2_schema(self, paper_tasky):
+        assert paper_tasky.tasky2.columns("Task") == ("task", "prio", "author")
+        assert paper_tasky.tasky2.columns("Author") == ("id", "name")
+
+    def test_figure1_do_contents(self, paper_tasky):
+        rows = paper_tasky.do.select("Todo", order_by="task")
+        assert [(r["author"], r["task"]) for r in rows] == [
+            ("Ben", "Clean room"),
+            ("Ann", "Write paper"),
+        ]
+
+    def test_figure1_tasky2_contents(self, paper_tasky):
+        authors = paper_tasky.tasky2.select("Author", order_by="name")
+        assert [a["name"] for a in authors] == ["Ann", "Ben"]
+        tasks = paper_tasky.tasky2.select("Task", order_by="task")
+        by_name = {a["id"]: a["name"] for a in authors}
+        assert [(t["task"], by_name[t["author"]]) for t in tasks] == [
+            ("Clean room", "Ben"),
+            ("Learn for exam", "Ben"),
+            ("Organize party", "Ann"),
+            ("Write paper", "Ann"),
+        ]
+
+    def test_unknown_source_version(self, paper_tasky):
+        with pytest.raises(CatalogError):
+            paper_tasky.engine.execute(
+                "CREATE SCHEMA VERSION X FROM Nope WITH DROP TABLE Task;"
+            )
+
+    def test_unknown_source_table(self, paper_tasky):
+        with pytest.raises(EvolutionError):
+            paper_tasky.engine.execute(
+                "CREATE SCHEMA VERSION X FROM TasKy WITH DROP TABLE Nope;"
+            )
+
+    def test_duplicate_version_name(self, paper_tasky):
+        with pytest.raises(CatalogError):
+            paper_tasky.engine.execute(
+                "CREATE SCHEMA VERSION TasKy WITH CREATE TABLE T(a);"
+            )
+
+
+class TestCoExistingWrites:
+    """Writes in any version are visible in all other versions."""
+
+    def test_insert_via_tasky_everywhere(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.tasky.insert("Task", {"author": "Cara", "task": "New urgent", "prio": 1})
+        assert "New urgent" in tasks_in(scenario.tasky)
+        assert "New urgent" in tasks_in(scenario.do, "Todo")
+        assert "New urgent" in tasks_in(scenario.tasky2)
+
+    def test_insert_via_do_defaults_prio(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.do.insert("Todo", {"author": "Ann", "task": "Via phone"})
+        row = scenario.tasky.select("Task", "task = 'Via phone'")[0]
+        assert row["prio"] == 1  # DROP COLUMN ... DEFAULT 1
+
+    def test_insert_via_do_reuses_author(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.do.insert("Todo", {"author": "Ann", "task": "Via phone"})
+        assert scenario.tasky2.count("Author") == 2
+
+    def test_insert_via_tasky2(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        ann = scenario.tasky2.select("Author", "name = 'Ann'")[0]
+        scenario.tasky2.insert(
+            "Task", {"task": "From v2", "prio": 1, "author": ann["id"]}
+        )
+        row = scenario.tasky.select("Task", "task = 'From v2'")[0]
+        assert row["author"] == "Ann"
+        assert "From v2" in tasks_in(scenario.do, "Todo")
+
+    def test_update_via_tasky2_prio_moves_into_do(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        changed = scenario.tasky2.update("Task", {"prio": 1}, "task = 'Learn for exam'")
+        assert changed == 1
+        assert "Learn for exam" in tasks_in(scenario.do, "Todo")
+
+    def test_update_via_tasky_prio_leaves_do(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.tasky.update("Task", {"prio": 3}, "task = 'Clean room'")
+        assert "Clean room" not in tasks_in(scenario.do, "Todo")
+
+    def test_delete_via_do(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        assert scenario.do.delete("Todo", "task = 'Write paper'") == 1
+        assert "Write paper" not in tasks_in(scenario.tasky)
+        assert "Write paper" not in tasks_in(scenario.tasky2)
+
+    def test_delete_all_tasks_of_author_removes_author(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.tasky.delete("Task", "author = 'Ben'")
+        names = [a["name"] for a in scenario.tasky2.select("Author")]
+        assert names == ["Ann"]
+
+    def test_rename_column_view(self, materialized_paper_tasky):
+        scenario = materialized_paper_tasky
+        scenario.tasky2.update("Author", {"name": "Annette"}, "name = 'Ann'")
+        assert "Annette" in {r["author"] for r in scenario.tasky.select("Task")}
+
+
+class TestMigration:
+    def test_all_versions_stable_across_all_materializations(self, paper_tasky):
+        scenario = paper_tasky
+        before = {
+            "TasKy": scenario.tasky.select_keyed("Task"),
+            "Do!": scenario.do.select_keyed("Todo"),
+            "TasKy2.Task": scenario.tasky2.select_keyed("Task"),
+            "TasKy2.Author": scenario.tasky2.select_keyed("Author"),
+        }
+        for target in ["TasKy2", "Do!", "TasKy", "TasKy2", "TasKy"]:
+            scenario.materialize(target)
+            assert scenario.tasky.select_keyed("Task") == before["TasKy"], target
+            assert scenario.do.select_keyed("Todo") == before["Do!"], target
+            assert scenario.tasky2.select_keyed("Task") == before["TasKy2.Task"], target
+            assert scenario.tasky2.select_keyed("Author") == before["TasKy2.Author"], target
+
+    def test_physical_tables_change(self, paper_tasky):
+        scenario = paper_tasky
+        initial = set(scenario.engine.physical_tables())
+        scenario.materialize("TasKy2")
+        evolved = set(scenario.engine.physical_tables())
+        assert initial != evolved
+
+    def test_materialize_single_table_versions(self, paper_tasky):
+        scenario = paper_tasky
+        scenario.engine.execute("MATERIALIZE 'TasKy2.Task', 'TasKy2.Author';")
+        kinds = {
+            smo.smo_type for smo in scenario.engine.current_materialization()
+        }
+        assert kinds == {"Decompose", "RenameColumn"}
+
+    def test_invalid_materialization_rejected(self, paper_tasky):
+        from repro.errors import MaterializationError
+
+        with pytest.raises(MaterializationError):
+            paper_tasky.engine.execute("MATERIALIZE 'Do!', 'TasKy2';")
+
+
+class TestDropSchemaVersion:
+    def test_dropped_version_unreachable(self, paper_tasky):
+        paper_tasky.engine.execute("DROP SCHEMA VERSION Do!;")
+        with pytest.raises(CatalogError):
+            paper_tasky.engine.connect("Do!")
+
+    def test_data_survives_for_other_versions(self, paper_tasky):
+        paper_tasky.engine.execute("DROP SCHEMA VERSION Do!;")
+        assert len(paper_tasky.tasky.select("Task")) == len(PAPER_ROWS)
+        assert paper_tasky.tasky2.count("Task") == len(PAPER_ROWS)
+
+
+class TestAccessApi:
+    def test_select_projection_and_order(self, paper_tasky):
+        rows = paper_tasky.tasky.select("Task", columns=["task"], order_by="task")
+        assert rows[0] == {"task": "Clean room"}
+
+    def test_select_with_string_predicate(self, paper_tasky):
+        assert paper_tasky.tasky.count("Task", "prio = 1") == 2
+
+    def test_select_with_callable_predicate(self, paper_tasky):
+        assert paper_tasky.tasky.count("Task", lambda r: r["prio"] > 1) == 2
+
+    def test_unknown_table(self, paper_tasky):
+        with pytest.raises(AccessError):
+            paper_tasky.tasky.select("Nope")
+
+    def test_id_column_not_updatable(self, paper_tasky):
+        with pytest.raises(AccessError):
+            paper_tasky.tasky2.update("Author", {"id": 99})
+
+    def test_update_by_key_missing(self, paper_tasky):
+        with pytest.raises(AccessError):
+            paper_tasky.tasky.update_by_key("Task", 424242, {"prio": 1})
+
+    def test_insert_returns_key(self, paper_tasky):
+        key = paper_tasky.tasky.insert("Task", {"author": "X", "task": "t", "prio": 5})
+        assert key in paper_tasky.tasky.select_keyed("Task")
+
+    def test_transaction_rollback(self, paper_tasky):
+        scenario = paper_tasky
+        before = scenario.tasky.select_keyed("Task")
+        with pytest.raises(RuntimeError):
+            with scenario.tasky.transaction():
+                scenario.tasky.insert("Task", {"author": "X", "task": "tmp", "prio": 1})
+                raise RuntimeError("abort")
+        assert scenario.tasky.select_keyed("Task") == before
+
+    def test_transaction_commit(self, paper_tasky):
+        scenario = paper_tasky
+        with scenario.tasky.transaction():
+            scenario.tasky.insert("Task", {"author": "X", "task": "kept", "prio": 1})
+        assert scenario.tasky.count("Task", "task = 'kept'") == 1

@@ -1,0 +1,51 @@
+"""Update-propagation rule derivation (the paper's Rules 52–54)."""
+
+from repro.bidel.parser import parse_smo
+from repro.bidel.smo.registry import build_semantics
+from repro.datalog.delta import (
+    delete_delta_name,
+    derive_delta_rules,
+    insert_delta_name,
+)
+from repro.relational.schema import TableSchema
+
+
+def split_rules():
+    node = parse_smo("SPLIT TABLE T INTO R WITH v = 1, S WITH v = 2")
+    semantics = build_semantics(node, (TableSchema.of("T", ["v"]),))
+    return semantics.gamma_tgt_rules()
+
+
+class TestInsertRules:
+    def test_rules_52_to_54_structure(self):
+        """An insert on the unified table derives insert rules for R, S,
+        and Uprime, each guarded by the minimality check ¬H(old)."""
+        deltas = derive_delta_rules(split_rules(), "U")
+        derived = {d.derived for d in deltas}
+        assert derived == {"R", "S", "Uprime"}
+        for delta in deltas:
+            for rule in delta.insert_rules:
+                assert rule.head.pred == insert_delta_name(delta.derived)
+                first = rule.body[0]
+                assert first.pred == insert_delta_name("U")
+                # Minimality guard: ¬H(old) closes each insert rule.
+                guard = rule.body[-1]
+                assert guard.pred.endswith("__old") and not guard.positive
+
+    def test_delete_rules_reference_old_and_new(self):
+        deltas = derive_delta_rules(split_rules(), "U")
+        for delta in deltas:
+            for rule in delta.delete_rules:
+                assert rule.head.pred == delete_delta_name(delta.derived)
+                predicates = {lit.pred for lit in rule.body_atoms()}
+                assert any(pred.endswith("__old") for pred in predicates)
+                assert any(pred.endswith("__new") for pred in predicates)
+
+    def test_unreferenced_predicate_yields_nothing(self):
+        assert derive_delta_rules(split_rules(), "Nothing") == []
+
+    def test_one_rule_per_body_occurrence(self):
+        rules = split_rules()
+        deltas = {d.derived: d for d in derive_delta_rules(rules, "U")}
+        # R is derived by two rules referencing U -> two insert rules.
+        assert len(deltas["R"].insert_rules) == 2

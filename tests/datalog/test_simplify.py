@@ -1,0 +1,173 @@
+"""Lemma-level tests plus the end-to-end Section 5 / Appendix A checks."""
+
+from repro.datalog.compose import compose_round_trip, is_identity, unfold_literal
+from repro.datalog.simplify import (
+    drop_empty_predicates,
+    normalize_rule,
+    simplify_rules,
+    subsumption_pass,
+    tautology_merge_pass,
+)
+from repro.datalog.symbolic import (
+    OMEGA,
+    SAtom,
+    SCompare,
+    SCond,
+    SRule,
+    SVar,
+    anon,
+    find_renaming,
+)
+
+p, A, A2, B = SVar("p"), SVar("A"), SVar("A2"), SVar("B")
+
+
+def atom(pred, *terms, positive=True):
+    return SAtom(pred, terms, positive)
+
+
+class TestNormalizeRule:
+    def test_lemma4_direct_contradiction(self):
+        rule = SRule(atom("H", p, A), (atom("T", p, A), atom("T", p, A, positive=False)))
+        assert normalize_rule(rule) is None
+
+    def test_lemma4_wildcard_contradiction(self):
+        rule = SRule(
+            atom("H", p, A), (atom("T", p, A), atom("T", p, anon(), positive=False))
+        )
+        assert normalize_rule(rule) is None
+
+    def test_lemma4_condition_contradiction(self):
+        rule = SRule(
+            atom("H", p, A),
+            (atom("T", p, A), SCond("c", (A,)), SCond("c", (A,), False)),
+        )
+        assert normalize_rule(rule) is None
+
+    def test_lemma5_unique_key_unification(self):
+        rule = SRule(atom("H", p, A), (atom("T", p, A), atom("T", p, A2), SCompare("!=", A, A2)))
+        # unification makes A = A2, contradicting A != A2 (paper Rule 38)
+        assert normalize_rule(rule) is None
+
+    def test_lemma5_merges_duplicates(self):
+        rule = SRule(atom("H", p, A), (atom("T", p, A), atom("T", p, anon())))
+        normalized = normalize_rule(rule)
+        assert normalized is not None
+        assert len(normalized.body) == 1
+
+    def test_ground_compare_false_removes_rule(self):
+        rule = SRule(atom("H", p), (atom("T", p), SCompare("!=", OMEGA, OMEGA)))
+        assert normalize_rule(rule) is None
+
+    def test_ground_compare_true_dropped(self):
+        rule = SRule(atom("H", p), (atom("T", p), SCompare("=", OMEGA, OMEGA)))
+        assert normalize_rule(rule) == SRule(atom("H", p), (atom("T", p),))
+
+    def test_local_constant_equality_dropped(self):
+        x = SVar("x")
+        rule = SRule(atom("H", p), (atom("T", p), SCompare("=", x, OMEGA)))
+        normalized = normalize_rule(rule)
+        assert normalized == SRule(atom("H", p), (atom("T", p),))
+
+    def test_duplicate_negatives_deduped_modulo_local_vars(self):
+        rule = SRule(
+            atom("H", p, A),
+            (
+                atom("T", p, A),
+                atom("R", p, anon(), positive=False),
+                atom("R", p, SVar("zz"), positive=False),
+            ),
+        )
+        normalized = normalize_rule(rule)
+        assert normalized is not None
+        assert len(normalized.body) == 2
+
+
+class TestLemma2:
+    def test_positive_on_empty_removes_rule(self):
+        rules = [SRule(atom("H", p), (atom("Aux", p),))]
+        assert drop_empty_predicates(rules, {"Aux"}) == []
+
+    def test_negative_on_empty_is_pruned(self):
+        rules = [SRule(atom("H", p, A), (atom("T", p, A), atom("Aux", p, positive=False)))]
+        out = drop_empty_predicates(rules, {"Aux"})
+        assert out == [SRule(atom("H", p, A), (atom("T", p, A),))]
+
+
+class TestLemma3:
+    def test_condition_complement_merge(self):
+        r1 = SRule(atom("H", p, A), (atom("T", p, A), SCond("c", (A,))))
+        r2 = SRule(atom("H", p, A), (atom("T", p, A), SCond("c", (A,), False)))
+        merged = tautology_merge_pass([r1, r2])
+        assert merged == [SRule(atom("H", p, A), (atom("T", p, A),))]
+
+    def test_atom_complement_merge_with_local_vars(self):
+        r1 = SRule(atom("H", p, A), (atom("S", p, A), atom("R", p, anon(), positive=False)))
+        r2 = SRule(atom("H", p, A), (atom("S", p, A), atom("R", p, SVar("w"))))
+        merged = tautology_merge_pass([r1, r2])
+        assert merged == [SRule(atom("H", p, A), (atom("S", p, A),))]
+
+    def test_no_unsound_merge_with_bound_var(self):
+        # R(p, A) with A bound in the head is NOT the complement of ¬R(p, _).
+        r1 = SRule(atom("H", p, A), (atom("S", p, A), atom("R", p, anon(), positive=False)))
+        r2 = SRule(atom("H", p, A), (atom("S", p, A), atom("R", p, A)))
+        merged = tautology_merge_pass([r1, r2])
+        assert len(merged) == 2
+
+    def test_equality_variant_rule118_120(self):
+        # H <- S(p,A), R(p,A)   merged with   H <- S(p,A), R(p,A2), A != A2
+        r118 = SRule(atom("H", p, A), (atom("S", p, A), atom("R", p, A)))
+        r120 = SRule(
+            atom("H", p, A),
+            (atom("S", p, A), atom("R", p, A2), SCompare("!=", A, A2)),
+        )
+        merged = tautology_merge_pass([r118, r120])
+        assert len(merged) == 1
+        (rule,) = merged
+        assert len(rule.body) == 2  # S(p,A), R(p,_)
+
+
+class TestSubsumption:
+    def test_more_specific_rule_removed(self):
+        general = SRule(atom("H", p, A), (atom("T", p, A),))
+        specific = SRule(atom("H", p, A), (atom("T", p, A), SCond("c", (A,))))
+        assert subsumption_pass([general, specific]) == [general]
+
+    def test_duplicates_removed_modulo_renaming(self):
+        r1 = SRule(atom("H", p, A), (atom("T", p, A),))
+        r2 = SRule(atom("H", p, B), (atom("T", p, B),))
+        assert len(subsumption_pass([r1, r2])) == 1
+
+
+class TestUnfolding:
+    def test_positive_unfold(self):
+        rule = SRule(atom("Out", p, A), (atom("Mid", p, A),))
+        definition = SRule(atom("Mid", p, A), (atom("In", p, A), SCond("c", (A,))))
+        unfolded = unfold_literal(rule, rule.body[0], [definition])
+        assert len(unfolded) == 1
+        assert any(isinstance(lit, SCond) for lit in unfolded[0].body)
+
+    def test_negative_unfold_produces_alternatives(self):
+        rule = SRule(atom("Out", p, A), (atom("In", p, A), atom("Mid", p, anon(), positive=False)))
+        definition = SRule(atom("Mid", p, B), (atom("In2", p, B), SCond("c", (B,))))
+        unfolded = unfold_literal(rule, rule.body[1], [definition])
+        # one alternative negates the atom, one negates the condition
+        assert len(unfolded) == 2
+
+
+class TestMatching:
+    def test_find_renaming_bijective(self):
+        r1 = SRule(atom("H", p, A), (atom("T", p, A),))
+        r2 = SRule(atom("H", p, B), (atom("T", p, B),))
+        assert find_renaming(r1, r2) is not None
+
+    def test_find_renaming_rejects_non_bijective(self):
+        r1 = SRule(atom("H", p, A, A2), (atom("T", p, A), atom("T2", p, A2)))
+        r2 = SRule(atom("H", p, B, B), (atom("T", p, B), atom("T2", p, B)))
+        assert find_renaming(r1, r2, exact=True) is None
+
+    def test_subset_embedding(self):
+        small = SRule(atom("H", p, A), (atom("T", p, A),))
+        big = SRule(atom("H", p, A), (atom("T", p, A), SCond("c", (A,))))
+        assert find_renaming(small, big, exact=False) is not None
+        assert find_renaming(big, small, exact=False) is None

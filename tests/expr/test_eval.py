@@ -1,0 +1,167 @@
+"""Evaluation semantics: SQL three-valued logic and NULL propagation."""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expr import parse_expression
+from repro.expr.ast import is_true, negate
+
+
+def ev(text, **row):
+    return parse_expression(text).evaluate(row)
+
+
+class TestThreeValuedLogic:
+    def test_null_comparison_is_null(self):
+        assert ev("a = 1", a=None) is None
+
+    def test_and_with_false_short_circuits_null(self):
+        assert ev("a = 1 AND b = 2", a=2, b=None) is False
+
+    def test_and_with_null(self):
+        assert ev("a = 1 AND b = 2", a=1, b=None) is None
+
+    def test_or_with_true_short_circuits_null(self):
+        assert ev("a = 1 OR b = 2", a=1, b=None) is True
+
+    def test_or_with_null(self):
+        assert ev("a = 1 OR b = 2", a=2, b=None) is None
+
+    def test_not_null(self):
+        assert ev("NOT (a = 1)", a=None) is None
+
+    def test_is_null(self):
+        assert ev("a IS NULL", a=None) is True
+        assert ev("a IS NULL", a=0) is False
+
+    def test_in_with_null_member(self):
+        assert ev("a IN (1, NULL)", a=1) is True
+        assert ev("a IN (1, NULL)", a=2) is None
+
+    def test_is_true_only_on_true(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(1)
+
+
+class TestArithmetic:
+    def test_integer_division_truncates(self):
+        assert ev("7 / 2") == 3
+        assert ev("-7 / 2") == -3
+
+    def test_division_by_zero_is_null(self):
+        assert ev("1 / 0") is None
+        assert ev("1 % 0") is None
+
+    def test_float_division(self):
+        assert ev("7.0 / 2") == 3.5
+
+    def test_modulo_sign_follows_dividend(self):
+        assert ev("7 % 3") == 1
+        assert ev("-7 % 3") == -1
+
+    def test_concat(self):
+        assert ev("a || '-' || b", a="x", b="y") == "x-y"
+
+    def test_concat_null(self):
+        assert ev("a || 'x'", a=None) is None
+
+
+class TestFunctions:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("upper('ab')", "AB"),
+            ("lower('AB')", "ab"),
+            ("length('abc')", 3),
+            ("abs(-5)", 5),
+            ("round(2.567, 1)", 2.6),
+            ("coalesce(NULL, NULL, 7)", 7),
+            ("concat('a', 'b', 'c')", "abc"),
+            ("substr('abcdef', 2, 3)", "bcd"),
+            ("substr('abcdef', -2)", "ef"),
+            ("least(3, 1, 2)", 1),
+            ("greatest(3, 1, 2)", 3),
+            ("mod(7, 3)", 1),
+        ],
+    )
+    def test_scalar_functions(self, text, expected):
+        assert ev(text) == expected
+
+    def test_null_propagation(self):
+        assert ev("upper(a)", a=None) is None
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            ev("nosuch(1)")
+
+    def test_unknown_column(self):
+        with pytest.raises(ExpressionError):
+            ev("missing + 1")
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "h%", True),
+            ("hello", "%lo", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", True),  # LIKE is case-insensitive like SQLite
+            ("hello", "x%", False),
+        ],
+    )
+    def test_like(self, value, pattern, expected):
+        assert ev(f"a LIKE '{pattern}'", a=value) is expected
+
+
+class TestStructural:
+    def test_columns(self):
+        assert parse_expression("a + b * c").columns() == {"a", "b", "c"}
+
+    def test_rename(self):
+        expr = parse_expression("prio = 1 AND author = 'Ann'")
+        renamed = expr.rename({"prio": "priority"})
+        assert renamed.columns() == {"priority", "author"}
+        assert renamed.evaluate({"priority": 1, "author": "Ann"}) is True
+
+    def test_negate_comparison(self):
+        assert negate(parse_expression("a < 3")).to_sql() == "(a >= 3)"
+
+    def test_double_negation(self):
+        expr = parse_expression("a = 1")
+        assert negate(negate(expr)) == expr
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.one_of(st.none(), st.integers(-50, 50)),
+    b=st.one_of(st.none(), st.integers(-50, 50)),
+)
+def test_matches_sqlite_semantics(a, b):
+    """Our three-valued evaluation agrees with a real SQL engine."""
+    expressions = [
+        "a = b",
+        "a < b",
+        "a + b",
+        "a IS NULL",
+        "(a = 1) OR (b = 2)",
+        "(a = 1) AND (b = 2)",
+        "a % 7",
+        "a / 3",
+    ]
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE t (a, b)")
+    connection.execute("INSERT INTO t VALUES (?, ?)", (a, b))
+    for text in expressions:
+        sql = parse_expression(text).to_sql()
+        got = parse_expression(text).evaluate({"a": a, "b": b})
+        expected = connection.execute(f"SELECT {sql} FROM t").fetchone()[0]
+        if isinstance(got, bool):
+            got = int(got)
+        assert got == expected, f"{text} with a={a}, b={b}"
+    connection.close()

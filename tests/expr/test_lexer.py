@@ -1,0 +1,71 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.expr.lexer import EOF, IDENT, NUMBER, OP, STRING, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+class TestTokenKinds:
+    def test_identifier(self):
+        assert kinds("prio") == [IDENT, EOF]
+
+    def test_number(self):
+        assert kinds("42") == [NUMBER, EOF]
+
+    def test_float(self):
+        assert values("3.25") == ["3.25"]
+
+    def test_string(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_operators_two_char(self):
+        assert values("a <= b >= c != d") == ["a", "<=", "b", ">=", "c", "!=", "d"]
+
+    def test_ne_alias(self):
+        # <> normalizes to !=
+        assert values("a <> b") == ["a", "!=", "b"]
+
+    def test_concat_operator(self):
+        assert values("a || b") == ["a", "||", "b"]
+
+    def test_version_bang_identifier(self):
+        assert values("Do!") == ["Do!"]
+
+    def test_comment_skipped(self):
+        assert values("a -- comment\n + b") == ["a", "+", "b"]
+
+    def test_punctuation(self):
+        assert values("f(a, b);") == ["f", "(", "a", ",", "b", ")", ";"]
+
+    def test_dot(self):
+        assert values("TasKy2.task") == ["TasKy2", ".", "task"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_number_followed_by_dot_name(self):
+        # "1.x" should not eat the dot as a decimal point
+        assert values("1.x") == ["1", ".", "x"]

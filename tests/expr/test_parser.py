@@ -1,0 +1,121 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.expr import parse_expression
+from repro.expr.ast import (
+    Binary,
+    BoolOp,
+    Column,
+    Comparison,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, BoolOp) and expr.op == "OR"
+        assert isinstance(expr.items[1], BoolOp) and expr.items[1].op == "AND"
+
+    def test_comparison_under_and(self):
+        expr = parse_expression("a = 1 AND b = 2")
+        assert isinstance(expr, BoolOp)
+        assert all(isinstance(item, Comparison) for item in expr.items)
+
+    def test_multiplication_under_addition(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_not_precedence(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, Unary) and expr.op == "NOT"
+        assert isinstance(expr.operand, Comparison)
+
+
+class TestForms:
+    def test_is_null(self):
+        expr = parse_expression("a IS NULL")
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in_list(self):
+        expr = parse_expression("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, Like)
+
+    def test_not_like(self):
+        expr = parse_expression("name NOT LIKE 'A%'")
+        assert isinstance(expr, Like) and expr.negated
+
+    def test_function_call(self):
+        expr = parse_expression("upper(name)")
+        assert isinstance(expr, FuncCall) and expr.name == "upper"
+
+    def test_nested_function(self):
+        expr = parse_expression("coalesce(length(name), 0)")
+        assert isinstance(expr, FuncCall)
+        assert isinstance(expr.args[0], FuncCall)
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("NULL") == Literal(None)
+
+    def test_column(self):
+        assert parse_expression("prio") == Column("prio")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, Unary) and expr.op == "-"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["a +", "(a", "a IN 1", "a IS 5", "AND a", "f(a,", "1 2"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_expression(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "prio = 1",
+            "a + b * c - 2",
+            "(a OR b) AND NOT c",
+            "name LIKE 'x%' AND prio IN (1, 2)",
+            "coalesce(a, b, 0) >= 10",
+            "a || b = 'ab'",
+            "x IS NOT NULL OR y IS NULL",
+        ],
+    )
+    def test_sql_rendering_reparses_identically(self, text):
+        expr = parse_expression(text)
+        again = parse_expression(expr.to_sql())
+        assert again == parse_expression(again.to_sql())
+        row = {"prio": 1, "a": 1, "b": 2, "c": None, "name": "xy", "x": 1, "y": None}
+        assert expr.evaluate(row) == again.evaluate(row)

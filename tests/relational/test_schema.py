@@ -1,0 +1,94 @@
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def task_schema():
+    return TableSchema.of(
+        "Task",
+        [("author", DataType.TEXT), ("task", DataType.TEXT), ("prio", DataType.INTEGER)],
+    )
+
+
+class TestConstruction:
+    def test_of_accepts_plain_names(self):
+        schema = TableSchema.of("T", ["a", "b"])
+        assert schema.column_names == ("a", "b")
+        assert schema.columns[0].dtype is DataType.ANY
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of("T", ["a", "a"])
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of("bad name", ["a"])
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad-col")
+
+
+class TestStructuralOps:
+    def test_rename_column(self, task_schema):
+        renamed = task_schema.rename_column("author", "name")
+        assert renamed.column_names == ("name", "task", "prio")
+        assert task_schema.column_names == ("author", "task", "prio")  # immutable
+
+    def test_rename_to_existing_rejected(self, task_schema):
+        with pytest.raises(SchemaError):
+            task_schema.rename_column("author", "task")
+
+    def test_add_column(self, task_schema):
+        wider = task_schema.add_column(Column("done", DataType.BOOLEAN))
+        assert wider.column_names[-1] == "done"
+
+    def test_add_duplicate_rejected(self, task_schema):
+        with pytest.raises(SchemaError):
+            task_schema.add_column(Column("prio"))
+
+    def test_drop_column(self, task_schema):
+        narrower = task_schema.drop_column("prio")
+        assert narrower.column_names == ("author", "task")
+
+    def test_drop_last_column_rejected(self):
+        schema = TableSchema.of("T", ["only"])
+        with pytest.raises(SchemaError):
+            schema.drop_column("only")
+
+    def test_project(self, task_schema):
+        projected = task_schema.project(["prio", "author"], table_name="P")
+        assert projected.name == "P"
+        assert projected.column_names == ("prio", "author")
+
+    def test_with_name(self, task_schema):
+        assert task_schema.with_name("Todo").name == "Todo"
+
+
+class TestRowHandling:
+    def test_row_from_mapping_fills_nulls(self, task_schema):
+        row = task_schema.row_from_mapping({"author": "Ann"})
+        assert row == ("Ann", None, None)
+
+    def test_row_from_mapping_rejects_unknown(self, task_schema):
+        with pytest.raises(SchemaError):
+            task_schema.row_from_mapping({"nosuch": 1})
+
+    def test_row_from_mapping_coerces(self, task_schema):
+        row = task_schema.row_from_mapping({"author": "A", "task": "t", "prio": True})
+        assert row == ("A", "t", 1)
+
+    def test_row_from_sequence_arity_check(self, task_schema):
+        with pytest.raises(SchemaError):
+            task_schema.row_from_sequence(("a",))
+
+    def test_round_trip(self, task_schema):
+        mapping = {"author": "A", "task": "t", "prio": 2}
+        assert task_schema.row_to_mapping(task_schema.row_from_mapping(mapping)) == mapping
+
+    def test_null_row(self, task_schema):
+        assert task_schema.is_null_row(task_schema.null_row())
+        assert not task_schema.is_null_row(("A", None, None))
