@@ -18,12 +18,14 @@ def evolved_scenario():
 
 
 def test_fig8_read_tasky_generated(benchmark, evolved_scenario):
-    rows = benchmark(lambda: evolved_scenario.tasky.select("Task"))
+    cursor = evolved_scenario.connect("TasKy").cursor()
+    rows = benchmark(lambda: cursor.execute("SELECT * FROM Task").fetchall())
     assert len(rows) == N
 
 
 def test_fig8_read_tasky2_generated(benchmark, evolved_scenario):
-    rows = benchmark(lambda: evolved_scenario.tasky2.select("Task"))
+    cursor = evolved_scenario.connect("TasKy2").cursor()
+    rows = benchmark(lambda: cursor.execute("SELECT * FROM Task").fetchall())
     assert len(rows) == N
 
 
@@ -34,9 +36,12 @@ def test_fig8_read_tasky_handwritten(benchmark):
 
 
 def test_fig8_writes_generated(benchmark, evolved_scenario):
+    cursor = evolved_scenario.connect("TasKy").cursor()
+
     def insert_one():
-        evolved_scenario.tasky.insert(
-            "Task", {"author": "Zed", "task": "bench", "prio": 2}
+        cursor.execute(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+            ("Zed", "bench", 2),
         )
 
     benchmark(insert_one)

@@ -1,13 +1,14 @@
 """Figure 13: two-SMO chain scaling, ADD COLUMN as the second SMO."""
 
 from repro.bench.harness import get_experiment
+from repro.sql.connection import connect
 from repro.workloads.micro import build_two_smo_scenario
 
 
 def test_fig13_single_chain_read(benchmark):
     engine = build_two_smo_scenario("split", "add_column", rows=1000)
-    connection = engine.connect("v3")
-    rows = benchmark(lambda: connection.select("R"))
+    cursor = connect(engine, "v3", autocommit=True).cursor()
+    rows = benchmark(lambda: cursor.execute("SELECT * FROM R").fetchall())
     assert rows
 
 

@@ -14,9 +14,10 @@ from repro.workloads.tasky import build_tasky
 
 
 def timed_read(connection, table: str, repeat: int = 5) -> float:
+    cursor = connection.cursor()
     start = time.perf_counter()
     for _ in range(repeat):
-        connection.select(table)
+        cursor.execute(f"SELECT * FROM {table}").fetchall()
     return (time.perf_counter() - start) / repeat * 1000
 
 
@@ -33,9 +34,9 @@ def main() -> None:
     print("\nRead latency per version under each full-version materialization:")
     for target in ["TasKy", "Do!", "TasKy2"]:
         scenario.materialize(target)
-        tasky_ms = timed_read(scenario.tasky, "Task")
-        do_ms = timed_read(scenario.do, "Todo")
-        tasky2_ms = timed_read(scenario.tasky2, "Task")
+        tasky_ms = timed_read(scenario.connect("TasKy"), "Task")
+        do_ms = timed_read(scenario.connect("Do!"), "Todo")
+        tasky2_ms = timed_read(scenario.connect("TasKy2"), "Task")
         print(
             f"  materialized={target:7s} read TasKy={tasky_ms:7.2f}ms  "
             f"Do!={do_ms:7.2f}ms  TasKy2={tasky2_ms:7.2f}ms"

@@ -1,13 +1,19 @@
-"""Quickstart: the paper's TasKy example end to end (Section 2, Figure 1).
+"""Quickstart: the paper's TasKy example through the SQL interface.
+
+Every co-existing schema version behaves like a full-fledged relational
+database: ``repro.connect(db, version=...)`` opens a PEP-249 (DB-API)
+connection to one version, and plain SQL with ``?`` parameter binding
+reads and writes it — while the engine keeps all other versions in sync
+through the generated BiDEL mapping logic (Section 2, Figure 1).
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import InVerDa
+import repro
 
 
 def main() -> None:
-    db = InVerDa()
+    db = repro.InVerDa()
 
     # Release 1: the TasKy desktop app goes live.
     db.execute(
@@ -16,17 +22,20 @@ def main() -> None:
         CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);
         """
     )
-    tasky = db.connect("TasKy")
-    for author, task, prio in [
-        ("Ann", "Organize party", 3),
-        ("Ben", "Learn for exam", 2),
-        ("Ann", "Write paper", 1),
-        ("Ben", "Clean room", 1),
-    ]:
-        tasky.insert("Task", {"author": author, "task": task, "prio": prio})
+    tasky = repro.connect(db, "TasKy", autocommit=True)
+    tasky.executemany(
+        "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+        [
+            ("Ann", "Organize party", 3),
+            ("Ben", "Learn for exam", 2),
+            ("Ann", "Write paper", 1),
+            ("Ben", "Clean room", 1),
+        ],
+    )
 
     # A third-party phone app needs its own schema version — one BiDEL
-    # script makes it immediately readable AND writable.
+    # script makes it immediately readable AND writable. DDL can go
+    # through the engine or through any cursor.
     db.execute(
         """
         CREATE SCHEMA VERSION Do! FROM TasKy WITH
@@ -44,29 +53,45 @@ def main() -> None:
         """
     )
 
-    do = db.connect("Do!")
-    tasky2 = db.connect("TasKy2")
+    do = repro.connect(db, "Do!", autocommit=True)
+    tasky2 = repro.connect(db, "TasKy2", autocommit=True)
 
     print("Do!.Todo (urgent tasks only):")
-    for row in do.select("Todo", order_by="task"):
-        print("  ", row)
+    for author, task in do.execute("SELECT author, task FROM Todo ORDER BY task"):
+        print(f"   {author}: {task}")
 
     print("TasKy2.Author (normalized, ids generated):")
-    for row in tasky2.select("Author", order_by="name"):
+    for row in tasky2.execute("SELECT id, name FROM Author ORDER BY name"):
         print("  ", row)
 
     # Writes through ANY version are visible in ALL versions.
-    do.insert("Todo", {"author": "Ann", "task": "Buy milk"})
+    do.execute("INSERT INTO Todo(author, task) VALUES (?, ?)", ("Ann", "Buy milk"))
     print("\nAfter inserting through the phone app:")
-    print("  TasKy sees:", [r["task"] for r in tasky.select("Task", order_by="task")])
-    print("  TasKy2 author count (Ann reused):", tasky2.count("Author"))
+    cursor = tasky.execute("SELECT task FROM Task ORDER BY task")
+    print("  TasKy sees:", [task for (task,) in cursor])
+    count = tasky2.execute("SELECT * FROM Author").rowcount
+    print("  TasKy2 author count (Ann reused):", count)
+
+    # Transactions roll back across versions: abandon a phone-app write
+    # and it disappears from the desktop app's version, too.
+    try:
+        with repro.connect(db, "Do!") as txn:
+            txn.execute("DELETE FROM Todo WHERE author = ?", ("Ben",))
+            raise RuntimeError("user hit cancel")
+    except RuntimeError:
+        pass
+    remaining = tasky.execute(
+        "SELECT * FROM Task WHERE author = ? AND prio = ?", ("Ben", 1)
+    ).rowcount
+    print("\nRolled-back delete: Ben's urgent tasks still in TasKy:", remaining)
 
     # The DBA moves the physical data with one line — no developer involved.
     print("\nPhysical tables before:", db.physical_tables())
     db.execute("MATERIALIZE 'TasKy2';")
     print("Physical tables after: ", db.physical_tables())
     print("All versions still answer identically:")
-    print("  Do! still sees:", [r["task"] for r in do.select("Todo", order_by="task")])
+    cursor = do.execute("SELECT task FROM Todo ORDER BY task")
+    print("  Do! still sees:", [task for (task,) in cursor])
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ Run with:  python examples/wikimedia_evolution.py
 
 import time
 
+import repro
 from repro.workloads.wikimedia import TABLE4_HISTOGRAM, build_wikimedia
 
 
@@ -25,15 +26,18 @@ def main() -> None:
         print(f"  {kind:14s} {count:3d}  (paper: {TABLE4_HISTOGRAM[kind]})")
 
     engine = scenario.engine
-    early = engine.connect(scenario.version_at(28))
-    late = engine.connect(scenario.version_at(171))
+    early = repro.connect(engine, scenario.version_at(28), autocommit=True).cursor()
+    late = repro.connect(engine, scenario.version_at(171), autocommit=True).cursor()
 
     # A write through the earliest version...
-    v001 = engine.connect("v001")
-    v001.insert("page", {"title": "Fresh_Page", "namespace": 0, "text_len": 123})
+    v001 = repro.connect(engine, "v001", autocommit=True)
+    v001.execute(
+        "INSERT INTO page(title, namespace, text_len) VALUES (?, ?, ?)",
+        ("Fresh_Page", 0, 123),
+    )
 
     # ...is visible 170 versions later.
-    found = late.select("page", "title = 'Fresh_Page'")
+    found = late.execute("SELECT * FROM page WHERE title = ?", ("Fresh_Page",)).fetchall()
     print(f"\nRow inserted at v001 visible at v171: {bool(found)}")
 
     # Migrate the physical home to the version where most traffic lives.
@@ -43,10 +47,10 @@ def main() -> None:
         engine.execute(f"MATERIALIZE '{target}';")
         migrated = (time.perf_counter() - start) * 1000
         start = time.perf_counter()
-        late.select("page")
+        late.execute("SELECT * FROM page").fetchall()
         read_late = (time.perf_counter() - start) * 1000
         start = time.perf_counter()
-        early.select("page")
+        early.execute("SELECT * FROM page").fetchall()
         read_early = (time.perf_counter() - start) * 1000
         print(
             f"materialized {target}: migration {migrated:7.1f}ms, "

@@ -1,4 +1,8 @@
-"""Legacy setup shim so editable installs work without network access."""
+"""Legacy setup shim; all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-build-isolation`` works in offline
+environments with older pip versions that still invoke setup.py.
+"""
 
 from setuptools import setup
 

@@ -6,6 +6,8 @@ Public entry points:
 
 - :class:`InVerDa` — the engine: execute BiDEL scripts, connect to any
   schema version, and migrate the physical table schema with one call.
+- :func:`connect` — a PEP-249 (DB-API) connection to one schema version:
+  cursors, SQL with ``?`` parameter binding, commit/rollback.
 - :func:`parse_script` / :func:`parse_smo` — the BiDEL parser.
 - :mod:`repro.verification` — formal (symbolic) and runtime
   bidirectionality checks.
@@ -17,11 +19,15 @@ Public entry points:
 from repro.bidel import parse_script, parse_smo
 from repro.core import InVerDa, VersionConnection
 from repro.errors import ReproError
+from repro.sql import Connection, Cursor, connect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "InVerDa",
+    "connect",
+    "Connection",
+    "Cursor",
     "VersionConnection",
     "parse_script",
     "parse_smo",

@@ -43,12 +43,15 @@ def run(num_tasks: int = 3000, writes: int = 50) -> ExperimentResult:
 
     # Writes: key-local delta propagation vs whole-state put.
     rng = random.Random(11)
-    do = scenario.engine  # noqa: F841 - keep scenario alive
+    tasky_cursor = scenario.connect("TasKy").cursor()
 
     def delta_writes() -> None:
         for index in range(writes):
             row = random_task(rng, 20_000_000 + index)
-            scenario.tasky.insert("Task", row)
+            tasky_cursor.execute(
+                "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+                (row["author"], row["task"], row["prio"]),
+            )
 
     delta_ms = time_once(delta_writes) * 1000
 

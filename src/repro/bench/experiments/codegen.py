@@ -25,13 +25,20 @@ def run(num_tasks: int = 10_000) -> ExperimentResult:
     initial = time_once(lambda: engine.execute(TASKY_INITIAL_SCRIPT)) * 1000
     result.add("create initial TasKy", initial, 154)
 
-    connection = engine.connect("TasKy")
     import random
 
+    from repro.sql.connection import connect
     from repro.workloads.tasky import random_task
 
+    connection = connect(engine, "TasKy", autocommit=True)
     rng = random.Random(3)
-    connection.insert_many("Task", [random_task(rng, i) for i in range(num_tasks)])
+    connection.executemany(
+        "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+        [
+            (row["author"], row["task"], row["prio"])
+            for row in (random_task(rng, i) for i in range(num_tasks))
+        ],
+    )
 
     do_ms = time_once(lambda: engine.execute(DO_SCRIPT)) * 1000
     result.add("evolve to Do! (2 SMOs)", do_ms, 177)

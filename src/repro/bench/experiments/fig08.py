@@ -25,14 +25,14 @@ def run(num_tasks: int = 5000, writes: int = 100, repeat: int = 3) -> Experiment
         scenario = build_tasky(num_tasks)
         if materialization == "evolved":
             scenario.materialize("TasKy2")
-        tasky = scenario.tasky
-        tasky2 = scenario.tasky2
+        tasky = scenario.connect("TasKy").cursor()
+        tasky2 = scenario.connect("TasKy2").cursor()
         baseline = handwritten_tasky(num_tasks, materialization=materialization)
 
         read_cases = [
-            ("read on TasKy", "BiDEL", lambda: tasky.select("Task")),
+            ("read on TasKy", "BiDEL", lambda: tasky.execute("SELECT * FROM Task").fetchall()),
             ("read on TasKy", "SQL (handwritten)", baseline.read_tasky),
-            ("read on TasKy2", "BiDEL", lambda: tasky2.select("Task")),
+            ("read on TasKy2", "BiDEL", lambda: tasky2.execute("SELECT * FROM Task").fetchall()),
             ("read on TasKy2", "SQL (handwritten)", baseline.read_tasky2),
         ]
         for operation, implementation, fn in read_cases:
@@ -44,18 +44,21 @@ def run(num_tasks: int = 5000, writes: int = 100, repeat: int = 3) -> Experiment
 
         def engine_writes_tasky() -> None:
             for row in rows:
-                tasky.insert("Task", row)
+                tasky.execute(
+                    "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+                    (row["author"], row["task"], row["prio"]),
+                )
 
         def baseline_writes_tasky() -> None:
             for row in rows:
                 baseline.insert_tasky(row["author"], row["task"], row["prio"])
 
         def engine_writes_tasky2() -> None:
-            authors = tasky2.select("Author")
+            fk = tasky2.execute("SELECT id FROM Author LIMIT 1").fetchone()[0]
             for row in rows:
-                tasky2.insert(
-                    "Task",
-                    {"task": row["task"], "prio": row["prio"], "author": authors[0]["id"]},
+                tasky2.execute(
+                    "INSERT INTO Task(task, prio, author) VALUES (?, ?, ?)",
+                    (row["task"], row["prio"], fk),
                 )
 
         def baseline_writes_tasky2() -> None:

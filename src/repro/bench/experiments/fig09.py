@@ -27,8 +27,8 @@ def _run_adoption(
     """Total seconds spent executing the whole adoption sweep."""
     rng = random.Random(1234)
     curve = adoption_curve(slices)
-    tasky = scenario.tasky
-    tasky2 = scenario.tasky2
+    tasky = scenario.connect("TasKy")
+    tasky2 = scenario.connect("TasKy2")
     total = 0.0
     switched = False
 
@@ -36,8 +36,8 @@ def _run_adoption(
         return scenario.next_task()
 
     def tasky2_row():
-        authors = tasky2.select("Author")
-        fk = rng.choice(authors)["id"] if authors else None
+        authors = tasky2.execute("SELECT id FROM Author").fetchall()
+        fk = rng.choice(authors)[0] if authors else None
         row = scenario.next_task()
         return {"task": row["task"], "prio": row["prio"], "author": fk}
 

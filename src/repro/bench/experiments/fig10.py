@@ -20,8 +20,8 @@ from repro.workloads.tasky import build_tasky
 def _sweep(scenario, *, slices: int, ops_per_slice: int, migrations: dict[float, str]) -> float:
     rng = random.Random(77)
     curve = adoption_curve(slices)
-    do = scenario.do
-    tasky2 = scenario.tasky2
+    do = scenario.connect("Do!")
+    tasky2 = scenario.connect("TasKy2")
     pending = dict(migrations)
     total = 0.0
 
@@ -30,8 +30,8 @@ def _sweep(scenario, *, slices: int, ops_per_slice: int, migrations: dict[float,
         return {"author": row["author"], "task": row["task"]}
 
     def tasky2_row():
-        authors = tasky2.select("Author")
-        fk = rng.choice(authors)["id"] if authors else None
+        authors = tasky2.execute("SELECT id FROM Author").fetchall()
+        fk = rng.choice(authors)[0] if authors else None
         row = scenario.next_task()
         return {"task": row["task"], "prio": row["prio"], "author": fk}
 

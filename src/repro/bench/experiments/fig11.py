@@ -28,7 +28,7 @@ def _label(schema) -> str:
 
 def _workload_cost(scenario, version: str, mix: WorkloadMix, ops: int) -> float:
     rng = random.Random(5)
-    connection = scenario.engine.connect(version)
+    connection = scenario.connect(version)
     table = "Todo" if version == "Do!" else "Task"
 
     def make_row():
@@ -36,8 +36,12 @@ def _workload_cost(scenario, version: str, mix: WorkloadMix, ops: int) -> float:
         if version == "Do!":
             return {"author": row["author"], "task": row["task"]}
         if version == "TasKy2":
-            authors = connection.select("Author") if "Author" in connection.table_names() else []
-            fk = rng.choice(authors)["id"] if authors else None
+            authors = (
+                connection.execute("SELECT id FROM Author").fetchall()
+                if "Author" in connection.table_names()
+                else []
+            )
+            fk = rng.choice(authors)[0] if authors else None
             return {"task": row["task"], "prio": row["prio"], "author": fk}
         return row
 

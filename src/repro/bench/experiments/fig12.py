@@ -10,6 +10,7 @@ between matching and mismatching materializations.
 from __future__ import annotations
 
 from repro.bench.harness import Experiment, ExperimentResult, register, time_call
+from repro.sql.connection import connect
 from repro.workloads.wikimedia import PAPER_VERSION_LABELS, build_wikimedia
 
 
@@ -30,9 +31,10 @@ def run(scale: float = 0.005, versions: int = 171, repeat: int = 3) -> Experimen
         engine.execute(f"MATERIALIZE '{mat_version}';")
         for query_index in query_indices:
             query_version = scenario.version_at(query_index)
-            connection = engine.connect(query_version)
+            cursor = connect(engine, query_version, autocommit=True).cursor()
             for table, _desc in scenario.template_queries(query_version):
-                ms = time_call(lambda: connection.select(table), repeat=repeat) * 1000
+                query = f"SELECT * FROM {table}"
+                ms = time_call(lambda: cursor.execute(query).fetchall(), repeat=repeat) * 1000
                 result.add(
                     f"{query_version} ({PAPER_VERSION_LABELS.get(query_index, '-')})",
                     f"{mat_version} ({PAPER_VERSION_LABELS.get(mat_index, '-')})",

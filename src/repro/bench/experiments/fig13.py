@@ -11,12 +11,14 @@ compose without extra overhead.
 from __future__ import annotations
 
 from repro.bench.harness import Experiment, ExperimentResult, register, time_call
+from repro.sql.connection import connect
 from repro.workloads.micro import TWO_SMO_FIRST, V3_READ_TABLE, build_two_smo_scenario
 
 
 def _read_ms(engine, version: str, table: str, repeat: int) -> float:
-    connection = engine.connect(version)
-    return time_call(lambda: connection.select(table), repeat=repeat) * 1000
+    cursor = connect(engine, version, autocommit=True).cursor()
+    query = f"SELECT * FROM {table}"
+    return time_call(lambda: cursor.execute(query).fetchall(), repeat=repeat) * 1000
 
 
 def run(

@@ -1,10 +1,12 @@
-"""Version connections: the application's view of one schema version.
+"""Legacy version connections: a Python-method CRUD view of one version.
 
-"Each schema version itself appears to the user like a full-fledged
-single-schema database" — a :class:`VersionConnection` provides
-select/insert/update/delete against the tables of its version; the engine
-routes every access through the generated mapping logic so writes are
-reflected in all co-existing versions.
+.. deprecated::
+   This bespoke surface predates the SQL-facing DB-API layer. New code
+   should use :func:`repro.connect`, which returns a PEP-249 connection
+   with cursors, ``?`` parameter binding, and transactions. The class is
+   kept as a thin shim over :mod:`repro.sql.planner` — the same routing
+   primitives the SQL layer lowers to — so existing callers keep working
+   and both surfaces stay behaviourally identical.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from repro.catalog.versions import SchemaVersion
 from repro.errors import AccessError
 from repro.expr.ast import Expression, is_true
 from repro.expr.parser import parse_expression
+from repro.sql import planner
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import InVerDa
@@ -39,6 +42,8 @@ def _compile_predicate(where: Predicate) -> Callable[[dict[str, Any]], bool]:
 
 
 class VersionConnection:
+    """Deprecated Python-method shim; see :func:`repro.connect`."""
+
     def __init__(self, engine: "InVerDa", version: SchemaVersion):
         self._engine = engine
         self._version = version
@@ -71,13 +76,12 @@ class VersionConnection:
     ) -> list[dict[str, Any]]:
         """Rows of ``table`` as dictionaries, optionally filtered/projected."""
         tv = self._table_version(table)
-        schema = tv.schema
         predicate = _compile_predicate(where)
-        rows = []
-        for _key, row in self._engine.read_table_version(tv, cache={}).items():
-            mapping = schema.row_to_mapping(row)
-            if predicate(mapping):
-                rows.append(mapping)
+        rows = [
+            mapping
+            for _key, mapping in planner.visible_rows(self._engine, tv)
+            if predicate(mapping)
+        ]
         if order_by is not None:
             rows.sort(key=lambda mapping: (mapping[order_by] is None, mapping[order_by]))
         if columns is not None:
@@ -88,14 +92,12 @@ class VersionConnection:
         """Rows keyed by the internal tuple identifier ``p`` (mostly for
         tests and the benchmark harness)."""
         tv = self._table_version(table)
-        schema = tv.schema
         predicate = _compile_predicate(where)
-        out: dict[int, dict[str, Any]] = {}
-        for key, row in self._engine.read_table_version(tv, cache={}).items():
-            mapping = schema.row_to_mapping(row)
-            if predicate(mapping):
-                out[key] = mapping
-        return out
+        return {
+            key: mapping
+            for key, mapping in planner.visible_rows(self._engine, tv)
+            if predicate(mapping)
+        }
 
     def count(self, table: str, where: Predicate = None) -> int:
         return len(self.select(table, where))
@@ -105,74 +107,31 @@ class VersionConnection:
     def insert(self, table: str, values: Mapping[str, Any]) -> int:
         """Insert one row; returns the internal tuple identifier."""
         tv = self._table_version(table)
-        key = None
-        if tv.key_column is not None:
-            provided = values.get(tv.key_column)
-            key = int(provided) if provided is not None else self._engine.allocate_key()
-            values = dict(values)
-            values[tv.key_column] = key
-        if key is None:
-            key = self._engine.allocate_key()
-        row = tv.schema.row_from_mapping(values)
-        change = TableChange(upserts={key: row})
-        self._engine.apply_change(tv, change)
-        return key
+        return planner.insert_rows(self._engine, tv, [values])[0]
 
     def insert_many(self, table: str, rows: list[Mapping[str, Any]]) -> list[int]:
         """Bulk insert; one propagation pass for the whole batch."""
         tv = self._table_version(table)
-        change = TableChange()
-        keys: list[int] = []
-        for values in rows:
-            if tv.key_column is not None:
-                provided = values.get(tv.key_column)
-                key = int(provided) if provided is not None else self._engine.allocate_key()
-                values = dict(values)
-                values[tv.key_column] = key
-            else:
-                key = self._engine.allocate_key()
-            change.upserts[key] = tv.schema.row_from_mapping(values)
-            keys.append(key)
-        self._engine.apply_change(tv, change)
-        return keys
+        return planner.insert_rows(self._engine, tv, rows)
 
     def update(
         self, table: str, set_values: Mapping[str, Any], where: Predicate = None
     ) -> int:
         """Update matching rows; returns the number of rows changed."""
         tv = self._table_version(table)
-        schema = tv.schema
         if tv.key_column is not None and tv.key_column in set_values:
             raise AccessError(
                 f"column {tv.key_column!r} of {table!r} is the generated "
                 "identifier and cannot be updated"
             )
-        predicate = _compile_predicate(where)
-        change = TableChange()
-        for key, row in self._engine.read_table_version(tv, cache={}).items():
-            mapping = schema.row_to_mapping(row)
-            if not predicate(mapping):
-                continue
-            mapping.update(set_values)
-            change.upserts[key] = schema.row_from_mapping(mapping)
-        if change.empty:
-            return 0
-        self._engine.apply_change(tv, change)
-        return len(change.upserts)
+        return planner.update_rows(
+            self._engine, tv, _compile_predicate(where), lambda mapping: set_values
+        )
 
     def delete(self, table: str, where: Predicate = None) -> int:
         """Delete matching rows; returns the number of rows removed."""
         tv = self._table_version(table)
-        schema = tv.schema
-        predicate = _compile_predicate(where)
-        change = TableChange()
-        for key, row in self._engine.read_table_version(tv, cache={}).items():
-            if predicate(schema.row_to_mapping(row)):
-                change.deletes.add(key)
-        if change.empty:
-            return 0
-        self._engine.apply_change(tv, change)
-        return len(change.deletes)
+        return planner.delete_rows(self._engine, tv, _compile_predicate(where))
 
     def update_by_key(self, table: str, key: int, set_values: Mapping[str, Any]) -> None:
         tv = self._table_version(table)

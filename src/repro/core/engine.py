@@ -85,10 +85,20 @@ class InVerDa:
             raise EvolutionError(f"unknown statement {statement!r}")
 
     def connect(self, version_name: str):
-        """A connection bound to one schema version (the app's view)."""
+        """A legacy Python-method connection bound to one schema version.
+
+        .. deprecated:: prefer :func:`repro.connect`, which returns a
+           PEP-249 connection speaking SQL with parameter binding.
+        """
         from repro.core.access import VersionConnection
 
         return VersionConnection(self, self.genealogy.schema_version(version_name))
+
+    def sql_connect(self, version_name: str | None = None, *, autocommit: bool = False):
+        """A PEP-249 connection to one schema version (see :func:`repro.connect`)."""
+        from repro.sql.connection import connect
+
+        return connect(self, version_name, autocommit=autocommit)
 
     # ------------------------------------------------------------------
     # Database Evolution Operation
@@ -310,8 +320,14 @@ class InVerDa:
                 self._undo_log = None
 
     def _rollback(self) -> None:
+        self._rollback_to(0)
+
+    def _rollback_to(self, mark: int) -> None:
+        """Undo journal entries back to ``mark`` (a savepoint: the journal
+        length at the time the guarded scope began)."""
         assert self._undo_log is not None
-        for table_name, key, old_row in reversed(self._undo_log):
+        while len(self._undo_log) > mark:
+            table_name, key, old_row = self._undo_log.pop()
             if not self.database.has_table(table_name):
                 continue
             table = self.database.table(table_name)

@@ -71,3 +71,32 @@ class VerificationError(ReproError):
 
 class BackendError(ReproError):
     """Failure in an execution backend (e.g. the SQLite delta-code backend)."""
+
+
+# -- DB-API (PEP 249) hierarchy for the SQL-facing connection layer ---------
+
+
+class SqlError(ReproError):
+    """Base class for the SQL access layer (PEP 249 ``Error``)."""
+
+
+class InterfaceError(SqlError):
+    """Misuse of the DB-API interface itself (e.g. operating on a closed
+    connection or cursor) rather than of the database."""
+
+
+class DatabaseError(SqlError):
+    """Error related to the database (PEP 249 ``DatabaseError``)."""
+
+
+class ProgrammingError(DatabaseError):
+    """Bad SQL text, wrong parameter count, unknown table or column."""
+
+
+class OperationalError(DatabaseError):
+    """Errors during statement processing not caused by the statement text
+    (e.g. a write rejected because the version accepts no writes)."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested SQL feature lies outside the supported dialect."""

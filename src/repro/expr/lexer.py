@@ -16,6 +16,7 @@ RPAREN = "RPAREN"
 COMMA = "COMMA"
 SEMICOLON = "SEMICOLON"
 DOT = "DOT"
+PARAM = "PARAM"  # a '?' placeholder (qmark-style parameter binding)
 EOF = "EOF"
 
 _TWO_CHAR_OPS = ("<=", ">=", "!=", "<>", "||")
@@ -137,6 +138,10 @@ def tokenize(text: str) -> list[Token]:
         if ch == ".":
             advance(1)
             tokens.append(Token(DOT, ch, start_line, start_column))
+            continue
+        if ch == "?":
+            advance(1)
+            tokens.append(Token(PARAM, ch, start_line, start_column))
             continue
         raise ParseError(f"unexpected character {ch!r}", start_line, start_column)
 

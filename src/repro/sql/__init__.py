@@ -1,0 +1,68 @@
+"""SQL-facing DB-API (PEP 249) access layer for co-existing schema versions.
+
+>>> import repro
+>>> db = repro.InVerDa()
+>>> db.execute("CREATE SCHEMA VERSION TasKy WITH CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);")
+>>> conn = repro.connect(db, version="TasKy")
+>>> cur = conn.cursor()
+>>> _ = cur.execute("INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)", ("Ann", "Write paper", 1))
+>>> cur.execute("SELECT task FROM Task WHERE prio = ?", (1,)).fetchall()
+[('Write paper',)]
+>>> conn.commit()
+
+The module exposes the standard PEP 249 globals (``apilevel``,
+``threadsafety``, ``paramstyle``) and exception aliases; the exception
+classes themselves live in :mod:`repro.errors` inside the library's
+single ``ReproError`` hierarchy.
+"""
+
+from repro.errors import (
+    DatabaseError,
+    InterfaceError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    SqlError,
+)
+from repro.sql.ast import (
+    BidelStatement,
+    Delete,
+    Insert,
+    Parameter,
+    Select,
+    SqlStatement,
+    Update,
+)
+from repro.sql.connection import Connection, Cursor, connect
+from repro.sql.parser import parse_statement
+
+apilevel = "2.0"
+threadsafety = 1  # threads may share the module, not connections
+paramstyle = "qmark"
+
+Error = SqlError
+Warning = SqlError  # no separate warning class; kept for PEP 249 shape
+
+__all__ = [
+    "connect",
+    "Connection",
+    "Cursor",
+    "parse_statement",
+    "SqlStatement",
+    "Select",
+    "Insert",
+    "Update",
+    "Delete",
+    "BidelStatement",
+    "Parameter",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Error",
+    "Warning",
+    "InterfaceError",
+    "DatabaseError",
+    "ProgrammingError",
+    "OperationalError",
+    "NotSupportedError",
+]

@@ -1,0 +1,171 @@
+"""Statement AST of the SQL-facing access layer.
+
+Statements reuse :mod:`repro.expr` expression nodes for every scalar
+position (projections, WHERE, SET values, VALUES tuples, ORDER BY keys,
+LIMIT/OFFSET), extended with one extra node: :class:`Parameter`, a
+``?`` placeholder bound at execution time (qmark paramstyle).
+
+A parsed statement is immutable and reusable: executing it never mutates
+the AST — parameter binding substitutes :class:`~repro.expr.ast.Literal`
+nodes into a structural copy via :func:`bind_expression`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ProgrammingError
+from repro.expr.ast import (
+    Binary,
+    BoolOp,
+    Column,
+    Comparison,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+)
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A ``?`` placeholder; ``index`` is its 0-based position in the
+    statement's parameter list."""
+
+    index: int
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise ProgrammingError(
+            f"parameter {self.index + 1} was never bound; pass a parameter "
+            "sequence to Cursor.execute()"
+        )
+
+    def to_sql(self) -> str:
+        return "?"
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> Expression:
+        return self
+
+
+def bind_expression(expression: Expression, params: Sequence[Any]) -> Expression:
+    """A structural copy of ``expression`` with every :class:`Parameter`
+    replaced by the corresponding ``Literal`` from ``params``."""
+    if isinstance(expression, Parameter):
+        return Literal(params[expression.index])
+    if isinstance(expression, (Literal, Column)):
+        return expression
+    if isinstance(expression, Unary):
+        return Unary(expression.op, bind_expression(expression.operand, params))
+    if isinstance(expression, Binary):
+        return Binary(
+            expression.op,
+            bind_expression(expression.left, params),
+            bind_expression(expression.right, params),
+        )
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            bind_expression(expression.left, params),
+            bind_expression(expression.right, params),
+        )
+    if isinstance(expression, BoolOp):
+        return BoolOp(
+            expression.op, tuple(bind_expression(item, params) for item in expression.items)
+        )
+    if isinstance(expression, IsNull):
+        return IsNull(bind_expression(expression.operand, params), expression.negated)
+    if isinstance(expression, InList):
+        return InList(
+            bind_expression(expression.operand, params),
+            tuple(bind_expression(item, params) for item in expression.items),
+            expression.negated,
+        )
+    if isinstance(expression, Like):
+        return Like(
+            bind_expression(expression.operand, params),
+            bind_expression(expression.pattern, params),
+            expression.negated,
+        )
+    if isinstance(expression, FuncCall):
+        return FuncCall(
+            expression.name, tuple(bind_expression(arg, params) for arg in expression.args)
+        )
+    raise ProgrammingError(f"cannot bind parameters in {type(expression).__name__}")
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional ``AS`` alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias is not None:
+            return self.alias
+        if isinstance(self.expression, Column):
+            return self.expression.name
+        return self.expression.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+class SqlStatement:
+    """Marker base class for everything :func:`parse_statement` returns."""
+
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class Select(SqlStatement):
+    table: str
+    items: tuple[SelectItem, ...] | None  # None means SELECT *
+    where: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expression | None = None
+    offset: Expression | None = None
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class Insert(SqlStatement):
+    table: str
+    columns: tuple[str, ...] | None  # None means schema column order
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class Update(SqlStatement):
+    table: str
+    assignments: tuple[tuple[str, Expression], ...] = ()
+    where: Expression | None = None
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class Delete(SqlStatement):
+    table: str
+    where: Expression | None = None
+    param_count: int = 0
+
+
+@dataclass(frozen=True)
+class BidelStatement(SqlStatement):
+    """A BiDEL DDL script (CREATE/DROP SCHEMA VERSION, MATERIALIZE) passed
+    through verbatim to the engine."""
+
+    text: str = ""

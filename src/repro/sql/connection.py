@@ -1,0 +1,425 @@
+"""PEP-249-style connections and cursors over co-existing schema versions.
+
+``repro.connect(engine, version=...)`` binds a DB-API connection to ONE
+schema version — the paper's promise that "each schema version itself
+appears to the user like a full-fledged single-schema database" made
+literal: the client speaks SQL, the engine routes every statement through
+the generated mapping logic so writes surface (correctly transformed) in
+every other co-existing version.
+
+Transactions
+------------
+
+The engine applies writes eagerly and keeps an undo log, so transactions
+are journal-backed: ``commit()`` discards the journal, ``rollback()``
+replays it backwards — undoing the write everywhere it propagated.
+Semantics:
+
+- with ``autocommit=False`` (the DB-API default) a transaction starts
+  implicitly at the first write and ends at ``commit()``/``rollback()``;
+- with ``autocommit=True`` each statement commits itself, but ``with
+  conn:`` still opens an explicit transaction scope for its duration;
+- ``with conn:`` commits on normal exit and rolls back on exception;
+  nested ``with`` blocks join the outermost transaction (only the
+  outermost block commits or rolls back);
+- a connection whose transaction began while another connection's was
+  open joins that transaction and only rolls back its own suffix;
+- isolation is READ UNCOMMITTED: in-flight writes are visible to every
+  version until rolled back (single-process, single-writer engine);
+- executing BiDEL DDL through a cursor implicitly commits EVERY open
+  transaction (DDL is not transactional).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.catalog.versions import SchemaVersion
+from repro.errors import (
+    AccessError,
+    CatalogError,
+    ExpressionError,
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+    SchemaError,
+)
+from repro.sql.ast import BidelStatement, Insert, Select, SqlStatement
+from repro.sql.parser import parse_statement
+from repro.sql.planner import (
+    StatementResult,
+    build_insert_mappings,
+    execute_statement,
+    insert_rows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import InVerDa
+
+
+@dataclass
+class _Transaction:
+    journal: list  # the engine undo log this transaction writes into
+    mark: int  # journal length when this connection's transaction began
+    owner: bool  # did this connection open the engine-level journal?
+
+
+def _normalize_params(parameters: Sequence[Any] | None, expected: int) -> tuple:
+    if parameters is None:
+        parameters = ()
+    if isinstance(parameters, (str, bytes)):
+        raise ProgrammingError("parameters must be a sequence of values, not a string")
+    if isinstance(parameters, Mapping):
+        raise ProgrammingError(
+            "qmark paramstyle takes a positional sequence, not a mapping"
+        )
+    params = tuple(parameters)
+    if len(params) != expected:
+        raise ProgrammingError(
+            f"statement takes {expected} parameter(s), {len(params)} given"
+        )
+    return params
+
+
+@contextmanager
+def _translated_errors():
+    """Surface engine-level failures as DB-API error classes."""
+    try:
+        yield
+    except (SchemaError, ExpressionError, CatalogError) as exc:
+        raise ProgrammingError(str(exc)) from exc
+    except AccessError as exc:
+        raise OperationalError(str(exc)) from exc
+
+
+class Cursor:
+    """A DB-API cursor bound to its connection's schema version."""
+
+    arraysize = 1
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+        self._closed = False
+        self._result = StatementResult()
+        self._cursor_index = 0
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def connection(self) -> "Connection":
+        return self._connection
+
+    @property
+    def description(self) -> tuple[tuple, ...] | None:
+        return self._result.description
+
+    @property
+    def rowcount(self) -> int:
+        return self._result.rowcount
+
+    @property
+    def lastrowid(self) -> int | None:
+        return self._result.lastrowid
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = StatementResult()
+
+    def _check_open(self) -> "Connection":
+        if self._closed:
+            raise InterfaceError("cannot operate on a closed cursor")
+        connection = self._connection
+        connection._check_open()
+        return connection
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> "Cursor":
+        """Execute one SQL statement (or a BiDEL DDL script)."""
+        connection = self._check_open()
+        self._result = StatementResult()
+        self._cursor_index = 0
+        statement = parse_statement(operation)
+        params = _normalize_params(parameters, statement.param_count)
+        if isinstance(statement, BidelStatement):
+            # DDL is not transactional: it implicitly commits EVERY open
+            # transaction. A journal kept across a migration would name
+            # physical tables the swap may drop, making rollback a lie.
+            connection.commit()
+            connection.engine._undo_log = None
+            with _translated_errors():
+                connection.engine.execute(statement.text)
+            return self
+        if isinstance(statement, Select):
+            with _translated_errors():
+                self._result = execute_statement(
+                    connection.engine, connection._version, statement, params
+                )
+            return self
+        with connection._write_scope(), _translated_errors():
+            self._result = execute_statement(
+                connection.engine, connection._version, statement, params
+            )
+        return self
+
+    def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> "Cursor":
+        """Execute a DML statement once per parameter row, atomically.
+
+        INSERTs are batched into a single change set (one propagation pass
+        through the version genealogy — the bulk-load fast path); UPDATE
+        and DELETE run row by row inside one atomic scope. Either way, an
+        error in the middle of the batch undoes the whole batch.
+        """
+        connection = self._check_open()
+        self._result = StatementResult()
+        self._cursor_index = 0
+        statement = parse_statement(operation)
+        if isinstance(statement, (Select, BidelStatement)):
+            raise ProgrammingError("executemany() only accepts DML statements")
+        if isinstance(statement, Insert):
+            return self._executemany_insert(connection, statement, seq_of_parameters)
+        total = 0
+        with connection._write_scope(), _translated_errors():
+            for parameters in seq_of_parameters:
+                params = _normalize_params(parameters, statement.param_count)
+                result = execute_statement(
+                    connection.engine, connection._version, statement, params
+                )
+                total += max(result.rowcount, 0)
+        self._result = StatementResult(rowcount=total)
+        return self
+
+    def _executemany_insert(
+        self,
+        connection: "Connection",
+        statement: Insert,
+        seq_of_parameters: Sequence[Sequence[Any]],
+    ) -> "Cursor":
+        with connection._write_scope(), _translated_errors():
+            tv = None
+            mappings: list[dict[str, Any]] = []
+            for parameters in seq_of_parameters:
+                params = _normalize_params(parameters, statement.param_count)
+                tv, row_mappings = build_insert_mappings(
+                    connection._version, statement, params
+                )
+                mappings.extend(row_mappings)
+            keys = insert_rows(connection.engine, tv, mappings) if tv is not None else []
+        self._result = StatementResult(
+            rowcount=len(keys), lastrowid=keys[-1] if keys else None
+        )
+        return self
+
+    # -- fetching ----------------------------------------------------------
+
+    def fetchone(self) -> tuple | None:
+        self._check_open()
+        if self._cursor_index >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        self._check_open()
+        if size is None:
+            size = self.arraysize
+        size = max(size, 0)  # a negative size must never rewind the cursor
+        start = self._cursor_index
+        self._cursor_index = min(start + size, len(self._result.rows))
+        return self._result.rows[start : self._cursor_index]
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        start = self._cursor_index
+        self._cursor_index = len(self._result.rows)
+        return self._result.rows[start:]
+
+    def __iter__(self) -> Iterator[tuple]:
+        while (row := self.fetchone()) is not None:
+            yield row
+
+    # -- PEP 249 no-ops ----------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:  # noqa: D102 - PEP 249
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # noqa: D102 - PEP 249
+        pass
+
+
+class Connection:
+    """A DB-API connection to one co-existing schema version."""
+
+    def __init__(self, engine: "InVerDa", version: SchemaVersion, *, autocommit: bool = False):
+        self.engine = engine
+        self._version = version
+        self.autocommit = autocommit
+        self._txn: _Transaction | None = None
+        self._with_depth = 0
+        self._closed = False
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def version_name(self) -> str:
+        return self._version.name
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def table_names(self) -> list[str]:
+        return self._version.table_names()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<repro.sql.Connection version={self.version_name!r} {state}>"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cannot operate on a closed connection")
+
+    def close(self) -> None:
+        """Roll back any open transaction and close the connection."""
+        if self._closed:
+            return
+        if self._txn is not None:
+            self.rollback()
+        self._closed = True
+
+    # -- cursors -----------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> Cursor:
+        """Shortcut: a fresh cursor with ``operation`` already executed."""
+        return self.cursor().execute(operation, parameters)
+
+    def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> Cursor:
+        return self.cursor().executemany(operation, seq_of_parameters)
+
+    # -- transactions ------------------------------------------------------
+
+    def _begin(self) -> None:
+        if self._txn is not None:
+            return
+        log = self.engine._undo_log
+        if log is None:
+            log = []
+            self.engine._undo_log = log
+            self._txn = _Transaction(journal=log, mark=0, owner=True)
+        else:
+            self._txn = _Transaction(journal=log, mark=len(log), owner=False)
+
+    def commit(self) -> None:
+        """End the current transaction, keeping its writes."""
+        self._check_open()
+        if self._txn is None:
+            return
+        if self._txn.owner and self.engine._undo_log is self._txn.journal:
+            self.engine._undo_log = None
+        self._txn = None
+
+    def rollback(self) -> None:
+        """Undo every write of the current transaction — including its
+        propagated effects in all other schema versions."""
+        self._check_open()
+        if self._txn is None:
+            return
+        # Only touch the journal this transaction actually wrote into. If
+        # it is gone (the owning connection committed or rolled back), the
+        # joined transaction ended with it and there is nothing to undo —
+        # a mark into a NEWER journal would erase someone else's writes.
+        if self.engine._undo_log is self._txn.journal:
+            self.engine._rollback_to(self._txn.mark)
+            if self._txn.owner:
+                self.engine._undo_log = None
+        self._txn = None
+
+    @contextmanager
+    def _write_scope(self):
+        """Statement-level atomicity around a write.
+
+        Opens the implicit transaction when not in autocommit mode, then
+        guards the statement with a savepoint so a failure mid-statement
+        (or mid-executemany-batch) never leaves partial effects behind."""
+        self._check_open()
+        if not self.autocommit:
+            self._begin()
+        engine = self.engine
+        if engine._undo_log is None:
+            engine._undo_log = []
+            try:
+                yield
+            except BaseException:
+                engine._rollback_to(0)
+                raise
+            finally:
+                engine._undo_log = None
+        else:
+            mark = len(engine._undo_log)
+            try:
+                yield
+            except BaseException:
+                engine._rollback_to(mark)
+                raise
+            else:
+                if self.autocommit and self._txn is None:
+                    # An autocommit statement ran while another
+                    # connection's transaction holds the journal: commit
+                    # it NOW by dropping its undo entries, so the foreign
+                    # rollback cannot erase a self-committed write.
+                    del engine._undo_log[mark:]
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        self._with_depth += 1
+        self._begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._with_depth -= 1
+        if self._with_depth == 0 and not self._closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        return False
+
+
+def connect(
+    engine: "InVerDa", version: str | None = None, *, autocommit: bool = False
+) -> Connection:
+    """Open a DB-API connection to ``version`` of ``engine``.
+
+    ``version`` may be omitted when exactly one schema version is active.
+    With ``autocommit=True`` every statement commits itself; explicit
+    transaction scopes are still available via ``with conn:``.
+    """
+    if version is None:
+        names = engine.version_names()
+        if len(names) != 1:
+            raise InterfaceError(
+                "version= is required when the engine has "
+                f"{len(names)} active schema versions ({', '.join(names) or 'none'})"
+            )
+        version = names[0]
+    try:
+        schema_version = engine.genealogy.schema_version(version)
+    except CatalogError as exc:
+        raise InterfaceError(str(exc)) from exc
+    return Connection(engine, schema_version, autocommit=autocommit)

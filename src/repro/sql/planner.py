@@ -1,0 +1,355 @@
+"""Lowering SQL statements onto the engine's version routing.
+
+This module owns the CRUD primitives of the access layer: every visible
+read goes through :meth:`InVerDa.read_table_version` and every write
+through :meth:`InVerDa.apply_change`, so the engine's generated mapping
+logic keeps all co-existing schema versions consistent. Both the DB-API
+cursor and the legacy :class:`~repro.core.access.VersionConnection` shim
+call into these functions.
+
+Like SQLite, every table exposes a ``rowid`` pseudo-column carrying the
+internal tuple identifier ``p`` of the paper's trigger architecture —
+unless the table has a real column of that name. ``rowid`` is not part of
+``SELECT *`` but may be projected, filtered, and ordered on explicitly,
+which gives SQL clients a stable handle on rows of tables without a
+visible key column.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.bidel.smo.base import TableChange
+from repro.catalog.genealogy import TableVersion
+from repro.catalog.versions import SchemaVersion
+from repro.errors import (
+    AccessError,
+    CatalogError,
+    ExpressionError,
+    ProgrammingError,
+    SchemaError,
+)
+from repro.expr.ast import Column as ColumnRef
+from repro.expr.ast import Expression, is_true
+from repro.relational.types import DataType
+from repro.sql.ast import (
+    Delete,
+    Insert,
+    OrderItem,
+    Select,
+    SelectItem,
+    SqlStatement,
+    Update,
+    bind_expression,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import InVerDa
+
+ROWID = "rowid"
+
+RowMapping = dict[str, Any]
+Predicate = Callable[[RowMapping], bool]
+
+
+def resolve_table(version: SchemaVersion, table: str) -> TableVersion:
+    try:
+        return version.table_version(table)
+    except (AccessError, CatalogError) as exc:
+        raise ProgrammingError(str(exc)) from exc
+
+
+def rowid_exposed(tv: TableVersion) -> bool:
+    """The ``rowid`` pseudo-column exists unless shadowed by a real one."""
+    return not tv.schema.has_column(ROWID)
+
+
+def visible_rows(
+    engine: "InVerDa", tv: TableVersion, *, with_rowid: bool = False
+) -> Iterable[tuple[int, RowMapping]]:
+    """(key, mapping) pairs of the table version's visible extent."""
+    schema = tv.schema
+    expose = with_rowid and rowid_exposed(tv)
+    for key, row in engine.read_table_version(tv, cache={}).items():
+        mapping = schema.row_to_mapping(row)
+        if expose:
+            mapping[ROWID] = key
+        yield key, mapping
+
+
+# ---------------------------------------------------------------------------
+# Write primitives (shared with the legacy VersionConnection shim)
+# ---------------------------------------------------------------------------
+
+
+def insert_rows(
+    engine: "InVerDa", tv: TableVersion, mappings: Iterable[Mapping[str, Any]]
+) -> list[int]:
+    """Insert rows as ONE change batch (a single propagation pass); returns
+    the allocated internal tuple identifiers."""
+    change = TableChange()
+    keys: list[int] = []
+    for values in mappings:
+        if tv.key_column is not None:
+            provided = values.get(tv.key_column)
+            key = int(provided) if provided is not None else engine.allocate_key()
+            values = dict(values)
+            values[tv.key_column] = key
+        else:
+            key = engine.allocate_key()
+        change.upserts[key] = tv.schema.row_from_mapping(values)
+        keys.append(key)
+    if keys:
+        engine.apply_change(tv, change)
+    return keys
+
+
+def update_rows(
+    engine: "InVerDa",
+    tv: TableVersion,
+    predicate: Predicate,
+    transform: Callable[[RowMapping], Mapping[str, Any]],
+    *,
+    with_rowid: bool = False,
+) -> int:
+    """Update matching rows; ``transform`` maps the current row to its SET
+    values. Applied as one change batch; returns the number of rows."""
+    schema = tv.schema
+    change = TableChange()
+    for key, mapping in visible_rows(engine, tv, with_rowid=with_rowid):
+        if not predicate(mapping):
+            continue
+        updates = transform(mapping)
+        if tv.key_column is not None and tv.key_column in updates:
+            raise AccessError(
+                f"column {tv.key_column!r} of {tv.name!r} is the generated "
+                "identifier and cannot be updated"
+            )
+        if ROWID in updates and rowid_exposed(tv):
+            raise AccessError("the rowid pseudo-column cannot be updated")
+        mapping = dict(mapping)
+        if rowid_exposed(tv):
+            mapping.pop(ROWID, None)
+        mapping.update(updates)
+        change.upserts[key] = schema.row_from_mapping(mapping)
+    if change.empty:
+        return 0
+    engine.apply_change(tv, change)
+    return len(change.upserts)
+
+
+def delete_rows(
+    engine: "InVerDa",
+    tv: TableVersion,
+    predicate: Predicate,
+    *,
+    with_rowid: bool = False,
+) -> int:
+    """Delete matching rows as one change batch; returns the number removed."""
+    change = TableChange()
+    for key, mapping in visible_rows(engine, tv, with_rowid=with_rowid):
+        if predicate(mapping):
+            change.deletes.add(key)
+    if change.empty:
+        return 0
+    engine.apply_change(tv, change)
+    return len(change.deletes)
+
+
+# ---------------------------------------------------------------------------
+# SQL statement execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StatementResult:
+    """What one executed statement produced, DB-API shaped."""
+
+    description: tuple[tuple, ...] | None = None
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = -1
+    lastrowid: int | None = None
+
+
+def _where_predicate(where: Expression | None) -> Predicate:
+    if where is None:
+        return lambda mapping: True
+    return lambda mapping: is_true(where.evaluate(mapping))
+
+
+def _evaluate_scalar(expression: Expression, mapping: RowMapping) -> Any:
+    try:
+        return expression.evaluate(mapping)
+    except ExpressionError as exc:
+        raise ProgrammingError(str(exc)) from exc
+
+
+def _int_clause(expression: Expression, what: str) -> int:
+    value = _evaluate_scalar(expression, {})
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProgrammingError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _sort_rows(
+    rows: list[tuple[int, RowMapping]], order_by: tuple[OrderItem, ...]
+) -> None:
+    """Stable multi-key sort; NULLs sort last in either direction."""
+    for item in reversed(order_by):
+        def sort_key(entry: tuple[int, RowMapping]):
+            value = _evaluate_scalar(item.expression, entry[1])
+            return (value is None, value) if not item.descending else (value is not None, value)
+
+        rows.sort(key=sort_key, reverse=item.descending)
+
+
+def _projection(
+    tv: TableVersion, items: tuple[SelectItem, ...] | None
+) -> tuple[tuple[SelectItem, ...], tuple[tuple, ...]]:
+    """Resolve the select list and build the cursor ``description``
+    (7-tuples per PEP 249; only name and type_code are populated)."""
+    schema = tv.schema
+    if items is None:
+        items = tuple(SelectItem(ColumnRef(column.name)) for column in schema.columns)
+    description = []
+    for item in items:
+        type_code = None
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            if schema.has_column(expression.name):
+                type_code = schema.column(expression.name).dtype
+            elif expression.name == ROWID and rowid_exposed(tv):
+                type_code = DataType.INTEGER
+            else:
+                raise ProgrammingError(
+                    f"table {tv.name!r} has no column {expression.name!r}"
+                )
+        description.append((item.output_name, type_code, None, None, None, None, None))
+    return items, tuple(description)
+
+
+def execute_select(
+    engine: "InVerDa", version: SchemaVersion, stmt: Select, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    items, description = _projection(tv, stmt.items)
+    if stmt.param_count:
+        items = tuple(
+            SelectItem(bind_expression(item.expression, params), item.alias)
+            for item in items
+        )
+    where = bind_expression(stmt.where, params) if stmt.where is not None else None
+    order_by = tuple(
+        OrderItem(bind_expression(item.expression, params), item.descending)
+        for item in stmt.order_by
+    )
+    predicate = _where_predicate(where)
+    matched = [
+        entry
+        for entry in visible_rows(engine, tv, with_rowid=True)
+        if predicate(entry[1])
+    ]
+    _sort_rows(matched, order_by)
+    if stmt.offset is not None:
+        # Negative offsets clamp to 0 (as in SQLite), never a tail slice.
+        offset = max(_int_clause(bind_expression(stmt.offset, params), "OFFSET"), 0)
+        matched = matched[offset:]
+    if stmt.limit is not None:
+        limit = _int_clause(bind_expression(stmt.limit, params), "LIMIT")
+        if limit >= 0:
+            matched = matched[:limit]
+    rows = [
+        tuple(_evaluate_scalar(item.expression, mapping) for item in items)
+        for _key, mapping in matched
+    ]
+    return StatementResult(description=description, rows=rows, rowcount=len(rows))
+
+
+def build_insert_mappings(
+    version: SchemaVersion, stmt: Insert, params: tuple
+) -> tuple[TableVersion, list[RowMapping]]:
+    """Evaluate an INSERT's VALUES tuples into column->value mappings."""
+    tv = resolve_table(version, stmt.table)
+    schema = tv.schema
+    if stmt.columns is not None:
+        columns = stmt.columns
+        for name in columns:
+            if not schema.has_column(name):
+                raise ProgrammingError(f"table {tv.name!r} has no column {name!r}")
+    else:
+        columns = schema.column_names
+    mappings: list[RowMapping] = []
+    for values in stmt.rows:
+        if len(values) != len(columns):
+            raise ProgrammingError(
+                f"INSERT expects {len(columns)} values per row, got {len(values)}"
+            )
+        mappings.append(
+            {
+                name: _evaluate_scalar(bind_expression(expression, params), {})
+                for name, expression in zip(columns, values)
+            }
+        )
+    return tv, mappings
+
+
+def execute_insert(
+    engine: "InVerDa", version: SchemaVersion, stmt: Insert, params: tuple
+) -> StatementResult:
+    tv, mappings = build_insert_mappings(version, stmt, params)
+    keys = insert_rows(engine, tv, mappings)
+    return StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
+
+
+def execute_update(
+    engine: "InVerDa", version: SchemaVersion, stmt: Update, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    schema = tv.schema
+    assignments = []
+    for name, expression in stmt.assignments:
+        if not schema.has_column(name):
+            raise ProgrammingError(f"table {tv.name!r} has no column {name!r}")
+        if name == tv.key_column:
+            raise AccessError(
+                f"column {name!r} of {tv.name!r} is the generated "
+                "identifier and cannot be updated"
+            )
+        assignments.append((name, bind_expression(expression, params)))
+    where = bind_expression(stmt.where, params) if stmt.where is not None else None
+
+    def transform(mapping: RowMapping) -> Mapping[str, Any]:
+        return {
+            name: _evaluate_scalar(expression, mapping)
+            for name, expression in assignments
+        }
+
+    count = update_rows(
+        engine, tv, _where_predicate(where), transform, with_rowid=True
+    )
+    return StatementResult(rowcount=count)
+
+
+def execute_delete(
+    engine: "InVerDa", version: SchemaVersion, stmt: Delete, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    where = bind_expression(stmt.where, params) if stmt.where is not None else None
+    count = delete_rows(engine, tv, _where_predicate(where), with_rowid=True)
+    return StatementResult(rowcount=count)
+
+
+def execute_statement(
+    engine: "InVerDa", version: SchemaVersion, stmt: SqlStatement, params: tuple
+) -> StatementResult:
+    if isinstance(stmt, Select):
+        return execute_select(engine, version, stmt, params)
+    if isinstance(stmt, Insert):
+        return execute_insert(engine, version, stmt, params)
+    if isinstance(stmt, Update):
+        return execute_update(engine, version, stmt, params)
+    if isinstance(stmt, Delete):
+        return execute_delete(engine, version, stmt, params)
+    raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")

@@ -13,6 +13,7 @@ import random
 
 from repro.core.engine import InVerDa
 from repro.errors import ReproError
+from repro.sql.connection import connect
 
 # SMO1 variants: each creates R(a, b, c) in version v2.
 TWO_SMO_FIRST = {
@@ -62,30 +63,46 @@ V3_READ_TABLE = {
 
 def _load_rows(engine: InVerDa, first: str, rows: int, seed: int) -> None:
     rng = random.Random(seed)
-    v1 = engine.connect("v1")
+    v1 = connect(engine, "v1", autocommit=True)
 
-    def values() -> dict:
-        return {"a": rng.randint(0, 1000), "b": rng.randint(0, 1000), "c": rng.randint(0, 1000)}
+    def abc() -> tuple[int, int, int]:
+        return (rng.randint(0, 1000), rng.randint(0, 1000), rng.randint(0, 1000))
 
     if first == "add_column":
-        v1.insert_many("R", [{"a": rng.randint(0, 1000), "b": rng.randint(0, 1000)} for _ in range(rows)])
+        v1.executemany(
+            "INSERT INTO R(a, b) VALUES (?, ?)",
+            [(rng.randint(0, 1000), rng.randint(0, 1000)) for _ in range(rows)],
+        )
     elif first == "drop_column":
-        v1.insert_many(
-            "R",
-            [dict(values(), d=rng.randint(0, 1000)) for _ in range(rows)],
+        v1.executemany(
+            "INSERT INTO R(a, b, c, d) VALUES (?, ?, ?, ?)",
+            [(*abc(), rng.randint(0, 1000)) for _ in range(rows)],
         )
     elif first == "split":
-        v1.insert_many("T0", [values() for _ in range(rows)])
+        v1.executemany(
+            "INSERT INTO T0(a, b, c) VALUES (?, ?, ?)", [abc() for _ in range(rows)]
+        )
     elif first == "merge":
         half = rows // 2
-        v1.insert_many("M1", [dict(values(), a=2 * i) for i in range(half)])
-        v1.insert_many("M2", [dict(values(), a=2 * i + 1) for i in range(rows - half)])
+        v1.executemany(
+            "INSERT INTO M1(a, b, c) VALUES (?, ?, ?)",
+            [(2 * i, *abc()[1:]) for i in range(half)],
+        )
+        v1.executemany(
+            "INSERT INTO M2(a, b, c) VALUES (?, ?, ?)",
+            [(2 * i + 1, *abc()[1:]) for i in range(rows - half)],
+        )
     elif first == "join_pk":
-        keys = v1.insert_many("L1", [{"a": rng.randint(0, 1000)} for _ in range(rows)])
-        # Join on PK: reuse the same internal keys for the partner rows.
-        engine_conn = v1
+        # Join on PK aligns rows by internal tuple identifier, which SQL
+        # clients cannot choose on INSERT — load L1 through the engine to
+        # learn the keys, then reuse them verbatim for the partner rows.
         from repro.bidel.smo.base import TableChange
+        from repro.sql.planner import insert_rows
 
+        l1 = engine.genealogy.schema_version("v1").table_version("L1")
+        keys = insert_rows(
+            engine, l1, [{"a": rng.randint(0, 1000)} for _ in range(rows)]
+        )
         tv = engine.genealogy.schema_version("v1").table_version("L2")
         change = TableChange(
             upserts={
@@ -96,11 +113,14 @@ def _load_rows(engine: InVerDa, first: str, rows: int, seed: int) -> None:
             }
         )
         engine.apply_change(tv, change)
-        del engine_conn
     elif first == "decompose_pk":
-        v1.insert_many("W0", [dict(values(), x=rng.randint(0, 1000)) for _ in range(rows)])
+        v1.executemany(
+            "INSERT INTO W0(a, b, c, x) VALUES (?, ?, ?, ?)",
+            [(*abc(), rng.randint(0, 1000)) for _ in range(rows)],
+        )
     else:  # pragma: no cover
         raise ReproError(f"unknown first SMO {first!r}")
+    v1.close()
 
 
 def build_two_smo_scenario(

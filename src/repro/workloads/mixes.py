@@ -12,7 +12,7 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.core.access import VersionConnection
+from repro.sql.connection import Connection
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ def adoption_curve(slices: int, *, steepness: float = 10.0) -> list[float]:
 
 
 def run_mix(
-    connection: VersionConnection,
+    connection: Connection,
     table: str,
     operations: int,
     mix: WorkloadMix,
@@ -55,42 +55,63 @@ def run_mix(
     make_row,
     update_row,
 ) -> None:
-    """Execute ``operations`` randomized operations against ``table``.
+    """Execute ``operations`` randomized SQL operations against ``table``.
 
-    ``make_row()`` produces values for inserts; ``update_row(row)`` returns
-    the SET mapping for updates. Victims for updates/deletes are sampled
-    from a periodically refreshed key snapshot, like a client application
-    that lists tasks and then modifies one of them.
+    ``connection`` is a DB-API connection (:func:`repro.connect`);
+    ``make_row()`` produces a column->value mapping for inserts;
+    ``update_row(row)`` returns the SET mapping for updates. Victims for
+    updates/deletes are sampled from a periodically refreshed ``rowid``
+    snapshot, like a client application that lists tasks and then
+    modifies one of them.
     """
+    cursor = connection.cursor()
     keys: list[int] = []
 
     def refresh_keys() -> None:
         keys.clear()
-        keys.extend(connection.select_keyed(table).keys())
+        keys.extend(row[0] for row in cursor.execute(f"SELECT rowid FROM {table}"))
+
+    def fetch_row(victim: int) -> dict | None:
+        cursor.execute(f"SELECT * FROM {table} WHERE rowid = ?", (victim,))
+        values = cursor.fetchone()
+        if values is None:
+            return None
+        return {column[0]: value for column, value in zip(cursor.description, values)}
 
     refresh_keys()
     for _ in range(operations):
         choice = rng.random()
         if choice < mix.reads:
-            connection.select(table)
+            cursor.execute(f"SELECT * FROM {table}").fetchall()
         elif choice < mix.reads + mix.inserts:
-            keys.append(connection.insert(table, make_row()))
+            row = make_row()
+            columns = ", ".join(row)
+            qmarks = ", ".join("?" for _ in row)
+            cursor.execute(
+                f"INSERT INTO {table}({columns}) VALUES ({qmarks})", tuple(row.values())
+            )
+            if cursor.lastrowid is not None:
+                keys.append(cursor.lastrowid)
         elif choice < mix.reads + mix.inserts + mix.updates:
             if not keys:
                 refresh_keys()
             if keys:
                 victim = rng.choice(keys)
-                row = connection.select_keyed(table).get(victim)
+                row = fetch_row(victim)
                 if row is None:
                     refresh_keys()
                     continue
-                connection.update_by_key(table, victim, update_row(row))
+                updates = update_row(row)
+                assignments = ", ".join(f"{name} = ?" for name in updates)
+                cursor.execute(
+                    f"UPDATE {table} SET {assignments} WHERE rowid = ?",
+                    (*updates.values(), victim),
+                )
         else:
             if not keys:
                 refresh_keys()
             if keys:
                 victim = keys.pop(rng.randrange(len(keys)))
-                try:
-                    connection.delete_by_key(table, victim)
-                except Exception:
+                cursor.execute(f"DELETE FROM {table} WHERE rowid = ?", (victim,))
+                if cursor.rowcount == 0:
                     refresh_keys()

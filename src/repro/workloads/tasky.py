@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 
 from repro.core.engine import InVerDa
+from repro.sql.connection import Connection, connect
 
 TASKY_INITIAL_SCRIPT = """
 CREATE SCHEMA VERSION TasKy WITH
@@ -58,6 +59,12 @@ class TaskyScenario:
     num_tasks: int
     rng: random.Random
 
+    def connect(self, version: str, *, autocommit: bool = True) -> Connection:
+        """A DB-API connection to one of the co-existing versions."""
+        return connect(self.engine, version, autocommit=autocommit)
+
+    # Legacy Python-method connections (deprecated; prefer ``connect``).
+
     @property
     def tasky(self):
         return self.engine.connect("TasKy")
@@ -85,14 +92,22 @@ def build_tasky(
     with_do: bool = True,
     with_tasky2: bool = True,
 ) -> TaskyScenario:
-    """Build the three-version TasKy database with ``num_tasks`` rows."""
+    """Build the three-version TasKy database with ``num_tasks`` rows.
+
+    The data is loaded through the SQL layer (one ``executemany`` batch),
+    exactly the path a real client application would use.
+    """
     engine = InVerDa()
     engine.execute(TASKY_INITIAL_SCRIPT)
     rng = random.Random(seed)
-    connection = engine.connect("TasKy")
     rows = [random_task(rng, serial) for serial in range(num_tasks)]
     if rows:
-        connection.insert_many("Task", rows)
+        connection = connect(engine, "TasKy", autocommit=True)
+        connection.executemany(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+            [(row["author"], row["task"], row["prio"]) for row in rows],
+        )
+        connection.close()
     if with_do:
         engine.execute(DO_SCRIPT)
     if with_tasky2:

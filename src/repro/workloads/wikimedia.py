@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.engine import InVerDa
+from repro.sql.connection import connect
 
 # Table 4 of the paper: SMO usage in the Wikimedia evolution.
 TABLE4_HISTOGRAM = {
@@ -319,29 +320,26 @@ def build_wikimedia(
     )
     pages = max(int(PAGE_SCALE_BASE * scale), 10)
     links = max(int(LINK_SCALE_BASE * scale), 20)
-    v001 = engine.connect("v001")
-    v001.insert_many(
-        "page",
+    v001 = connect(engine, "v001", autocommit=True)
+    v001.executemany(
+        "INSERT INTO page(title, namespace, text_len) VALUES (?, ?, ?)",
         [
-            {
-                "title": f"Page_{index}",
-                "namespace": rng.randint(0, 15),
-                "text_len": rng.randint(50, 50_000),
-            }
+            (f"Page_{index}", rng.randint(0, 15), rng.randint(50, 50_000))
             for index in range(pages)
         ],
     )
-    v001.insert_many(
-        "links",
+    v001.executemany(
+        "INSERT INTO links(src_title, dst_title, link_type) VALUES (?, ?, ?)",
         [
-            {
-                "src_title": f"Page_{rng.randrange(pages)}",
-                "dst_title": f"Page_{rng.randrange(pages)}",
-                "link_type": rng.randint(0, 3),
-            }
+            (
+                f"Page_{rng.randrange(pages)}",
+                f"Page_{rng.randrange(pages)}",
+                rng.randint(0, 3),
+            )
             for _ in range(links)
         ],
     )
+    v001.close()
     version_names = ["v001"]
     for step, statements in enumerate(plan, start=2):
         name = _version_name(step)

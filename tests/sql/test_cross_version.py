@@ -1,0 +1,157 @@
+"""Acceptance: SQL DML round-trips across co-existing schema versions.
+
+Writes issued through one version's DB-API connection must be visible —
+correctly transformed by the BiDEL mapping logic — through every other
+version's connection, under every materialization, with ``?`` parameter
+binding on both the write and the read side.
+"""
+
+import pytest
+
+import repro
+
+TASKY_SCRIPT = """
+CREATE SCHEMA VERSION TasKy WITH
+CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);
+"""
+
+DO_SCRIPT = """
+CREATE SCHEMA VERSION Do! FROM TasKy WITH
+SPLIT TABLE Task INTO Todo WITH prio = 1;
+DROP COLUMN prio FROM Todo DEFAULT 1;
+"""
+
+TASKY2_SCRIPT = """
+CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FOREIGN KEY author;
+RENAME COLUMN author IN Author TO name;
+"""
+
+
+@pytest.fixture
+def engine():
+    db = repro.InVerDa()
+    db.execute(TASKY_SCRIPT)
+    conn = repro.connect(db, "TasKy", autocommit=True)
+    conn.executemany(
+        "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+        [
+            ("Ann", "Organize party", 3),
+            ("Ben", "Learn for exam", 2),
+            ("Ann", "Write paper", 1),
+            ("Ben", "Clean room", 1),
+        ],
+    )
+    db.execute(DO_SCRIPT)
+    db.execute(TASKY2_SCRIPT)
+    return db
+
+
+def connect(engine, version):
+    return repro.connect(engine, version, autocommit=True)
+
+
+class TestReadTransformation:
+    def test_split_filters_urgent_tasks(self, engine):
+        rows = connect(engine, "Do!").execute(
+            "SELECT author, task FROM Todo ORDER BY task"
+        ).fetchall()
+        assert rows == [("Ben", "Clean room"), ("Ann", "Write paper")]
+
+    def test_decompose_generates_author_ids(self, engine):
+        rows = connect(engine, "TasKy2").execute(
+            "SELECT id, name FROM Author ORDER BY name"
+        ).fetchall()
+        assert [name for _id, name in rows] == ["Ann", "Ben"]
+        assert all(isinstance(id_, int) for id_, _name in rows)
+
+    def test_join_back_through_fk(self, engine):
+        tasky2 = connect(engine, "TasKy2")
+        ann_id = tasky2.execute(
+            "SELECT id FROM Author WHERE name = ?", ("Ann",)
+        ).fetchone()[0]
+        rows = tasky2.execute(
+            "SELECT task FROM Task WHERE author = ? ORDER BY task", (ann_id,)
+        ).fetchall()
+        assert rows == [("Organize party",), ("Write paper",)]
+
+
+class TestWriteThroughOneVersionVisibleInOthers:
+    def test_insert_through_do_lands_in_tasky_and_tasky2(self, engine):
+        do = connect(engine, "Do!")
+        do.execute("INSERT INTO Todo(author, task) VALUES (?, ?)", ("Ann", "Buy milk"))
+        # TasKy sees it with the SPLIT's DROP COLUMN default prio = 1
+        tasky_row = connect(engine, "TasKy").execute(
+            "SELECT author, prio FROM Task WHERE task = ?", ("Buy milk",)
+        ).fetchall()
+        assert tasky_row == [("Ann", 1)]
+        # TasKy2 reuses Ann's generated author id instead of minting one
+        assert connect(engine, "TasKy2").execute(
+            "SELECT * FROM Author"
+        ).rowcount == 2
+
+    def test_update_through_tasky2_visible_in_tasky(self, engine):
+        tasky2 = connect(engine, "TasKy2")
+        tasky2.execute("UPDATE Author SET name = ? WHERE name = ?", ("Annette", "Ann"))
+        rows = connect(engine, "TasKy").execute(
+            "SELECT author FROM Task WHERE author = ?", ("Annette",)
+        ).fetchall()
+        assert len(rows) == 2
+
+    def test_update_through_tasky_moves_rows_into_do(self, engine):
+        tasky = connect(engine, "TasKy")
+        tasky.execute("UPDATE Task SET prio = ? WHERE task = ?", (1, "Learn for exam"))
+        do_rows = connect(engine, "Do!").execute(
+            "SELECT task FROM Todo ORDER BY task"
+        ).fetchall()
+        assert ("Learn for exam",) in do_rows
+
+    def test_delete_through_do_removes_from_all(self, engine):
+        do = connect(engine, "Do!")
+        assert do.execute("DELETE FROM Todo WHERE author = ?", ("Ben",)).rowcount == 1
+        assert connect(engine, "TasKy").execute(
+            "SELECT * FROM Task WHERE task = ?", ("Clean room",)
+        ).rowcount == 0
+        assert connect(engine, "TasKy2").execute(
+            "SELECT * FROM Task WHERE task = ?", ("Clean room",)
+        ).rowcount == 0
+
+
+class TestUnderEveryMaterialization:
+    @pytest.mark.parametrize("target", ["TasKy", "Do!", "TasKy2"])
+    def test_round_trip_stable_under_materialization(self, engine, target):
+        engine.execute(f"MATERIALIZE '{target}';")
+        do = connect(engine, "Do!")
+        tasky = connect(engine, "TasKy")
+        tasky2 = connect(engine, "TasKy2")
+
+        do.execute("INSERT INTO Todo(author, task) VALUES (?, ?)", ("Eve", f"at {target}"))
+        assert tasky.execute(
+            "SELECT prio FROM Task WHERE task = ?", (f"at {target}",)
+        ).fetchall() == [(1,)]
+        eve = tasky2.execute(
+            "SELECT id FROM Author WHERE name = ?", ("Eve",)
+        ).fetchone()
+        assert eve is not None
+
+        tasky2.execute("DELETE FROM Task WHERE task = ?", (f"at {target}",))
+        assert do.execute(
+            "SELECT * FROM Todo WHERE task = ?", (f"at {target}",)
+        ).rowcount == 0
+        assert tasky.execute(
+            "SELECT * FROM Task WHERE task = ?", (f"at {target}",)
+        ).rowcount == 0
+
+    def test_all_versions_agree_after_migration_cycle(self, engine):
+        baseline = {
+            version: connect(engine, version).execute(
+                f"SELECT * FROM {table} ORDER BY task"
+            ).fetchall()
+            for version, table in [("TasKy", "Task"), ("Do!", "Todo")]
+        }
+        for target in ("TasKy2", "Do!", "TasKy"):
+            engine.execute(f"MATERIALIZE '{target}';")
+            for version, table in [("TasKy", "Task"), ("Do!", "Todo")]:
+                assert connect(engine, version).execute(
+                    f"SELECT * FROM {table} ORDER BY task"
+                ).fetchall() == baseline[version], (target, version)

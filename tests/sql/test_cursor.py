@@ -1,0 +1,289 @@
+import pytest
+
+import repro
+from repro.errors import InterfaceError, OperationalError, ProgrammingError
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def db():
+    engine = repro.InVerDa()
+    engine.execute(
+        """
+        CREATE SCHEMA VERSION TasKy WITH
+        CREATE TABLE Task(author TEXT, task TEXT, prio INTEGER);
+        """
+    )
+    conn = repro.connect(engine, "TasKy", autocommit=True)
+    conn.executemany(
+        "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+        [
+            ("Ann", "Organize party", 3),
+            ("Ben", "Learn for exam", 2),
+            ("Ann", "Write paper", 1),
+            ("Ben", "Clean room", 1),
+        ],
+    )
+    return engine
+
+
+@pytest.fixture
+def conn(db):
+    return repro.connect(db, "TasKy", autocommit=True)
+
+
+class TestModuleShape:
+    def test_pep249_globals(self):
+        import repro.sql as sql
+
+        assert sql.apilevel == "2.0"
+        assert sql.paramstyle == "qmark"
+        assert issubclass(sql.ProgrammingError, sql.Error)
+
+    def test_connect_infers_single_version(self, db):
+        conn = repro.connect(db)
+        assert conn.version_name == "TasKy"
+
+    def test_connect_requires_version_when_ambiguous(self, db):
+        db.execute("CREATE SCHEMA VERSION V2 FROM TasKy WITH RENAME TABLE Task INTO T;")
+        with pytest.raises(InterfaceError):
+            repro.connect(db)
+
+    def test_connect_unknown_version(self, db):
+        with pytest.raises(InterfaceError):
+            repro.connect(db, "Nope")
+
+
+class TestSelect:
+    def test_select_star_columns_in_schema_order(self, conn):
+        cur = conn.execute("SELECT * FROM Task ORDER BY task LIMIT 1")
+        assert [d[0] for d in cur.description] == ["author", "task", "prio"]
+        assert cur.fetchall() == [("Ben", "Clean room", 1)]
+
+    def test_description_types(self, conn):
+        cur = conn.execute("SELECT prio, author, prio * 2 AS double FROM Task")
+        names = [d[0] for d in cur.description]
+        types = [d[1] for d in cur.description]
+        assert names == ["prio", "author", "double"]
+        assert types[0] == DataType.INTEGER
+        assert types[2] is None
+        assert all(len(d) == 7 for d in cur.description)
+
+    def test_parameter_binding(self, conn):
+        rows = conn.execute(
+            "SELECT task FROM Task WHERE author = ? AND prio >= ? ORDER BY task",
+            ("Ann", 2),
+        ).fetchall()
+        assert rows == [("Organize party",)]
+
+    def test_wrong_parameter_count(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT * FROM Task WHERE prio = ?", (1, 2))
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT * FROM Task WHERE prio = ?")
+
+    def test_string_parameters_rejected(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT * FROM Task WHERE author = ?", "Ann")
+
+    def test_mapping_parameters_rejected(self, conn):
+        # qmark style is positional; dict keys must never leak in as data.
+        with pytest.raises(ProgrammingError):
+            conn.execute(
+                "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+                {"author": "Ann", "task": "x", "prio": 1},
+            )
+
+    def test_fetchmany_negative_size_does_not_rewind(self, conn):
+        cur = conn.execute("SELECT task FROM Task ORDER BY task")
+        first = cur.fetchone()
+        assert cur.fetchmany(-5) == []
+        assert cur.fetchone() != first  # cursor moved forward, not back
+
+    def test_failed_execute_clears_previous_result(self, conn):
+        cur = conn.execute("SELECT task FROM Task")
+        with pytest.raises(ProgrammingError):
+            cur.execute("BOGUS STATEMENT")
+        assert cur.fetchall() == []
+        assert cur.description is None
+
+    def test_fetch_interface(self, conn):
+        cur = conn.execute("SELECT task FROM Task ORDER BY task")
+        assert cur.rowcount == 4
+        assert cur.fetchone() == ("Clean room",)
+        assert cur.fetchmany(2) == [("Learn for exam",), ("Organize party",)]
+        assert cur.fetchall() == [("Write paper",)]
+        assert cur.fetchone() is None
+        assert cur.fetchall() == []
+
+    def test_iteration(self, conn):
+        cur = conn.execute("SELECT task FROM Task WHERE prio = 1 ORDER BY task")
+        assert [task for (task,) in cur] == ["Clean room", "Write paper"]
+
+    def test_order_by_desc_and_offset(self, conn):
+        rows = conn.execute(
+            "SELECT task FROM Task ORDER BY prio DESC, task ASC LIMIT 2 OFFSET 1"
+        ).fetchall()
+        assert rows == [("Learn for exam",), ("Clean room",)]
+
+    def test_negative_offset_clamps_to_zero(self, conn):
+        rows = conn.execute(
+            "SELECT task FROM Task ORDER BY task LIMIT 2 OFFSET ?", (-3,)
+        ).fetchall()
+        assert rows == [("Clean room",), ("Learn for exam",)]
+
+    def test_expression_projection(self, conn):
+        rows = conn.execute(
+            "SELECT author || ': ' || task AS line FROM Task WHERE prio = 3"
+        ).fetchall()
+        assert rows == [("Ann: Organize party",)]
+
+    def test_scalar_functions(self, conn):
+        rows = conn.execute(
+            "SELECT upper(author) FROM Task WHERE length(task) = ? ORDER BY 1 LIMIT 1",
+            (10,),
+        ).fetchall()
+        assert rows == [("BEN",)]  # 'Clean room'
+
+    def test_unknown_column_rejected(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT nope FROM Task")
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT * FROM Task WHERE nope = 1").fetchall()
+
+    def test_unknown_table_rejected(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT * FROM Missing")
+
+    def test_rowid_pseudo_column(self, conn):
+        rows = conn.execute("SELECT rowid, task FROM Task ORDER BY rowid").fetchall()
+        assert [task for _rowid, task in rows] == [
+            "Organize party", "Learn for exam", "Write paper", "Clean room",
+        ]
+        rowid = rows[0][0]
+        assert conn.execute(
+            "SELECT task FROM Task WHERE rowid = ?", (rowid,)
+        ).fetchall() == [("Organize party",)]
+
+    def test_rowid_not_in_star(self, conn):
+        cur = conn.execute("SELECT * FROM Task LIMIT 1")
+        assert "rowid" not in [d[0] for d in cur.description]
+
+
+class TestDml:
+    def test_insert_rowcount_and_lastrowid(self, conn):
+        cur = conn.execute(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)", ("Eve", "New", 5)
+        )
+        assert cur.rowcount == 1
+        assert cur.lastrowid is not None
+        assert cur.description is None
+        found = conn.execute(
+            "SELECT author FROM Task WHERE rowid = ?", (cur.lastrowid,)
+        ).fetchall()
+        assert found == [("Eve",)]
+
+    def test_insert_without_column_list(self, conn):
+        conn.execute("INSERT INTO Task VALUES ('Eve', 'Implicit', 4)")
+        assert conn.execute("SELECT * FROM Task WHERE prio = 4").rowcount == 1
+
+    def test_multi_row_insert(self, conn):
+        cur = conn.execute(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?), (?, ?, ?)",
+            ("X", "a", 1, "Y", "b", 2),
+        )
+        assert cur.rowcount == 2
+
+    def test_insert_arity_mismatch(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("INSERT INTO Task(author, task) VALUES (?, ?, ?)", ("a", "b", 1))
+
+    def test_update_with_expression(self, conn):
+        cur = conn.execute("UPDATE Task SET prio = prio + 10 WHERE author = ?", ("Ann",))
+        assert cur.rowcount == 2
+        rows = conn.execute(
+            "SELECT prio FROM Task WHERE author = 'Ann' ORDER BY prio"
+        ).fetchall()
+        assert rows == [(11,), (13,)]
+
+    def test_update_unknown_column(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("UPDATE Task SET nope = 1")
+
+    def test_delete(self, conn):
+        assert conn.execute("DELETE FROM Task WHERE prio = 1").rowcount == 2
+        assert conn.execute("SELECT * FROM Task").rowcount == 2
+        assert conn.execute("DELETE FROM Task").rowcount == 2
+        assert conn.execute("SELECT * FROM Task").rowcount == 0
+
+    def test_executemany_insert_batches(self, conn):
+        cur = conn.executemany(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+            [("A", "t1", 1), ("B", "t2", 2), ("C", "t3", 3)],
+        )
+        assert cur.rowcount == 3
+        assert conn.execute("SELECT * FROM Task").rowcount == 7
+
+    def test_executemany_update(self, conn):
+        cur = conn.executemany(
+            "UPDATE Task SET prio = ? WHERE author = ?", [(9, "Ann"), (8, "Ben")]
+        )
+        assert cur.rowcount == 4
+
+    def test_executemany_rejects_select(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.executemany("SELECT * FROM Task", [()])
+
+    def test_generated_key_column_update_rejected(self, db):
+        db.execute(
+            """
+            CREATE SCHEMA VERSION TasKy2 FROM TasKy WITH
+            DECOMPOSE TABLE Task INTO Task(task, prio), Author(author) ON FK author;
+            """
+        )
+        conn2 = repro.connect(db, "TasKy2", autocommit=True)
+        with pytest.raises(OperationalError):
+            conn2.execute("UPDATE Author SET id = 99")
+        # the guard fires upfront, even when the WHERE matches nothing
+        with pytest.raises(OperationalError):
+            conn2.execute("UPDATE Author SET id = 99 WHERE author = 'nobody'")
+
+
+class TestDdlThroughCursor:
+    def test_create_version_and_query_it(self, conn, db):
+        cur = conn.cursor()
+        cur.execute(
+            "CREATE SCHEMA VERSION Do! FROM TasKy WITH "
+            "SPLIT TABLE Task INTO Todo WITH prio = 1; "
+            "DROP COLUMN prio FROM Todo DEFAULT 1;"
+        )
+        do = repro.connect(db, "Do!", autocommit=True)
+        assert do.execute("SELECT * FROM Todo").rowcount == 2
+
+    def test_materialize_through_cursor(self, conn, db):
+        conn.execute("MATERIALIZE 'TasKy';")
+        assert conn.execute("SELECT * FROM Task").rowcount == 4
+
+
+class TestClosedHandles:
+    def test_closed_connection(self, conn):
+        conn.close()
+        with pytest.raises(InterfaceError):
+            conn.cursor()
+        with pytest.raises(InterfaceError):
+            conn.commit()
+        conn.close()  # idempotent
+
+    def test_closed_cursor(self, conn):
+        cur = conn.execute("SELECT * FROM Task")
+        cur.close()
+        with pytest.raises(InterfaceError):
+            cur.execute("SELECT * FROM Task")
+        with pytest.raises(InterfaceError):
+            cur.fetchone()
+
+    def test_cursor_of_closed_connection(self, conn):
+        cur = conn.cursor()
+        conn.close()
+        with pytest.raises(InterfaceError):
+            cur.execute("SELECT * FROM Task")

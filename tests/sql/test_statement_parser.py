@@ -1,0 +1,142 @@
+import pytest
+
+from repro.errors import ProgrammingError
+from repro.expr.ast import Column, Comparison, Literal
+from repro.sql.ast import (
+    BidelStatement,
+    Delete,
+    Insert,
+    Parameter,
+    Select,
+    Update,
+    bind_expression,
+)
+from repro.sql.parser import parse_statement
+
+
+class TestSelectParsing:
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM Task")
+        assert isinstance(stmt, Select)
+        assert stmt.table == "Task"
+        assert stmt.items is None
+        assert stmt.where is None
+        assert stmt.param_count == 0
+
+    def test_projections_and_aliases(self):
+        stmt = parse_statement("SELECT author, upper(task) AS shout FROM Task")
+        assert [item.output_name for item in stmt.items] == ["author", "shout"]
+        assert isinstance(stmt.items[0].expression, Column)
+
+    def test_where_order_limit_offset(self):
+        stmt = parse_statement(
+            "SELECT task FROM Task WHERE prio <= 2 AND author = 'Ann' "
+            "ORDER BY prio DESC, task LIMIT 10 OFFSET 5"
+        )
+        assert stmt.where is not None
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == Literal(10)
+        assert stmt.offset == Literal(5)
+
+    def test_parameters_numbered_in_order(self):
+        stmt = parse_statement(
+            "SELECT task FROM Task WHERE prio = ? OR author = ? LIMIT ?"
+        )
+        assert stmt.param_count == 3
+        assert stmt.limit == Parameter(2)
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse_statement("SELECT * FROM Task;"), Select)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ProgrammingError):
+            parse_statement("SELECT * FROM Task extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ProgrammingError):
+            parse_statement("SELECT a, b")
+
+    def test_clause_keyword_not_an_operand(self):
+        with pytest.raises(ProgrammingError):
+            parse_statement("SELECT * FROM Task WHERE ORDER BY prio")
+
+
+class TestDmlParsing:
+    def test_insert_with_columns(self):
+        stmt = parse_statement(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?), (?, ?, ?)"
+        )
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ("author", "task", "prio")
+        assert len(stmt.rows) == 2
+        assert stmt.param_count == 6
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO Task VALUES ('Ann', 'x', 1)")
+        assert stmt.columns is None
+        assert stmt.rows[0][2] == Literal(1)
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE Task SET prio = prio + 1, task = ? WHERE prio < 3")
+        assert isinstance(stmt, Update)
+        assert [name for name, _ in stmt.assignments] == ["prio", "task"]
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.param_count == 1
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM Task WHERE author = ?")
+        assert isinstance(stmt, Delete)
+        assert stmt.param_count == 1
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM Task").where is None
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ProgrammingError):
+            parse_statement("TRUNCATE Task")
+
+    def test_empty_statement(self):
+        with pytest.raises(ProgrammingError):
+            parse_statement("")
+
+
+class TestBidelPassthrough:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);",
+            "DROP SCHEMA VERSION v1;",
+            "MATERIALIZE 'v1';",
+            # multi-statement scripts stay intact
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS 0 INTO T; MATERIALIZE 'v2';",
+        ],
+    )
+    def test_detected_as_bidel(self, script):
+        stmt = parse_statement(script)
+        assert isinstance(stmt, BidelStatement)
+        assert stmt.text == script
+
+    def test_plain_drop_is_not_bidel(self):
+        # DROP without SCHEMA VERSION is not a supported SQL statement.
+        with pytest.raises(ProgrammingError):
+            parse_statement("DROP TABLE T")
+
+
+class TestParameterBinding:
+    def test_bind_expression_substitutes_literals(self):
+        stmt = parse_statement("SELECT * FROM T WHERE a = ? AND b IN (?, ?)")
+        bound = bind_expression(stmt.where, (1, "x", None))
+        assert bound.evaluate({"a": 1, "b": "x"}) is True
+        assert bound.evaluate({"a": 1, "b": "y"}) is None  # NULL in IN-list
+
+    def test_unbound_parameter_raises(self):
+        stmt = parse_statement("SELECT * FROM T WHERE a = ?")
+        with pytest.raises(ProgrammingError):
+            stmt.where.evaluate({"a": 1})
+
+    def test_statements_are_cached_and_reusable(self):
+        first = parse_statement("SELECT * FROM Task WHERE prio = ?")
+        second = parse_statement("SELECT * FROM Task WHERE prio = ?")
+        assert first is second
