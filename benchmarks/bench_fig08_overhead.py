@@ -35,6 +35,34 @@ def test_fig8_read_tasky_handwritten(benchmark):
     assert len(rows) == N
 
 
+@pytest.fixture(scope="module")
+def live_scenario():
+    from repro.backend.sqlite import LiveSqliteBackend
+
+    scenario = build_tasky(N)
+    LiveSqliteBackend.attach(scenario.engine)
+    scenario.materialize("TasKy2")
+    return scenario
+
+
+def test_fig8_read_tasky_sqlite_backend(benchmark, live_scenario):
+    cursor = live_scenario.connect("TasKy").cursor()
+    rows = benchmark(lambda: cursor.execute("SELECT * FROM Task").fetchall())
+    assert len(rows) == N
+
+
+def test_fig8_writes_sqlite_backend(benchmark, live_scenario):
+    cursor = live_scenario.connect("TasKy").cursor()
+
+    def insert_one():
+        cursor.execute(
+            "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+            ("Zed", "bench", 2),
+        )
+
+    benchmark(insert_one)
+
+
 def test_fig8_writes_generated(benchmark, evolved_scenario):
     cursor = evolved_scenario.connect("TasKy").cursor()
 

@@ -1,0 +1,324 @@
+"""Assembling the full delta-code script from the schema version catalog.
+
+For the current materialization this module produces, in dependency order,
+
+1. scaffolding DDL (sequence table, per-SMO put/scratch tables),
+2. one ``CREATE VIEW`` per table version (physical table versions get a
+   pass-through view so that every version is written through the same
+   trigger machinery),
+3. one ``INSTEAD OF INSERT/UPDATE/DELETE`` trigger triple per view,
+   combining the storage-route propagation program with shared-aux
+   maintenance for adjacent off-route SMOs and extent repairs for shared
+   aux tables deeper down virtual branches,
+
+plus the in-place SQL migration script implementing ``MATERIALIZE``.
+"""
+
+from __future__ import annotations
+
+from repro.backend import emit
+from repro.backend.emit import q, qcols, table_ddl
+from repro.backend.handlers import (
+    HandlerContext,
+    handler_for,
+    has_shared_aux,
+)
+from repro.catalog.genealogy import SmoInstance, TableVersion
+from repro.catalog.materialization import physical_table_versions
+from repro.errors import BackendError
+from repro.util.naming import physical_name
+
+
+def route_for(engine, tv: TableVersion) -> tuple[SmoInstance, str] | None:
+    """The SMO through which ``tv``'s reads and writes are routed, or
+    ``None`` when the table version is physical (delegates to the engine's
+    routing so generated code can never drift from it)."""
+    if engine._is_physical(tv):
+        return None
+    smo = engine._route_smo(tv)
+    if smo is None:
+        raise BackendError(f"table version {tv!r} has no data route")
+    return smo, ("forward" if tv in smo.sources else "backward")
+
+
+def _adjacent_smos(tv: TableVersion) -> list[SmoInstance]:
+    adjacent = [smo for smo in tv.outgoing if not smo.is_initial]
+    if tv.incoming is not None and not tv.incoming.is_initial:
+        adjacent.append(tv.incoming)
+    return adjacent
+
+
+def _off_route_shared(
+    tv: TableVersion, route: SmoInstance | None
+) -> tuple[list[SmoInstance], list[SmoInstance]]:
+    """(adjacent shared-aux SMOs, deeper shared-aux SMOs) excluding the
+    storage route (whose cascade handles its own far side)."""
+    adjacent = [smo for smo in _adjacent_smos(tv) if smo is not route]
+    adjacent_shared = [smo for smo in adjacent if has_shared_aux(smo)]
+    seen = {smo.uid for smo in adjacent}
+    if route is not None:
+        seen.add(route.uid)
+    deep: list[SmoInstance] = []
+    frontier: list[SmoInstance] = list(adjacent)
+    while frontier:
+        smo = frontier.pop()
+        for far_tv in (*smo.sources, *smo.targets):
+            if far_tv is tv:
+                continue
+            for nxt in _adjacent_smos(far_tv):
+                if nxt.uid in seen:
+                    continue
+                seen.add(nxt.uid)
+                if has_shared_aux(nxt):
+                    deep.append(nxt)
+                frontier.append(nxt)
+    return adjacent_shared, deep
+
+
+def active_table_versions(engine) -> list[TableVersion]:
+    """Every table version reachable from an active schema version, in a
+    physical-first dependency order (each view's inputs precede it)."""
+    ordered: list[TableVersion] = []
+    installed: set[int] = set()
+
+    def install(tv: TableVersion) -> None:
+        if tv.uid in installed:
+            return
+        installed.add(tv.uid)
+        route = route_for(engine, tv)
+        if route is not None:
+            smo, direction = route
+            neighbors = smo.targets if direction == "forward" else smo.sources
+            for neighbor in neighbors:
+                install(neighbor)
+            # Identifier-generating SMOs derive a narrow view from the wide
+            # view and vice versa; make sure siblings come in too.
+            for sibling in (*smo.sources, *smo.targets):
+                install(sibling)
+        ordered.append(tv)
+
+    for version in engine.genealogy.active_versions():
+        for tv in version.tables.values():
+            install(tv)
+    return ordered
+
+
+def scaffold_statements(engine) -> list[str]:
+    """Idempotent DDL for the sequence table, per-SMO staging tables, and
+    indexes over the always-stored ID tables (the trigger programs probe
+    them by identifier on every row write)."""
+    ctx = HandlerContext(engine)
+    statements = [emit.sequences_ddl()]
+    for smo in engine.genealogy.evolution_smos():
+        if smo.semantics is None:
+            continue
+        handler = handler_for(ctx, smo)
+        for name, columns in handler.put_tables().items():
+            statements.append(table_ddl(name, columns))
+        for role, schema in smo.semantics.aux_shared().items():
+            table = smo.aux_table_name(role)
+            for column in schema.column_names:
+                index = physical_name("ix", str(smo.uid), role, column)
+                statements.append(
+                    f"CREATE INDEX IF NOT EXISTS {index} ON {table} ({q(column)})"
+                )
+    return statements
+
+
+def view_statements(engine) -> list[str]:
+    ctx = HandlerContext(engine)
+    statements = []
+    for tv in active_table_versions(engine):
+        route = route_for(engine, tv)
+        if route is None:
+            columns = ", ".join(["p", *qcols(tv.schema.column_names)])
+            select = f"SELECT {columns} FROM {tv.data_table_name}"
+        else:
+            select = handler_for(ctx, route[0]).view_select(tv)
+        statements.append(emit.create_view(tv.view_name, select))
+    return statements
+
+
+def trigger_statements(engine) -> list[str]:
+    ctx = HandlerContext(engine)
+    statements = []
+    for tv in active_table_versions(engine):
+        route = route_for(engine, tv)
+        route_smo = route[0] if route is not None else None
+        adjacent_shared, deep = _off_route_shared(tv, route_smo)
+        for op in ("INSERT", "UPDATE", "DELETE"):
+            body: list[str] = []
+            if op == "UPDATE":
+                body.append(
+                    "SELECT RAISE(ABORT, 'the row identifier p is immutable') "
+                    "WHERE NEW.p IS NOT OLD.p"
+                )
+            # Adjacent shared-aux maintenance first: like the engine, the
+            # identifier decision procedure reads the PRE-write state (the
+            # derived views still show it while the INSTEAD OF trigger runs).
+            for smo in adjacent_shared:
+                body += handler_for(ctx, smo).write_statements(
+                    tv, op, apply_data=False
+                )
+            if route is None:
+                body += _physical_write(tv, op)
+            else:
+                body += handler_for(ctx, route[0]).write_statements(
+                    tv, op, apply_data=True
+                )
+            # Extent repairs for distant shared-aux SMOs read the POST-write
+            # state, so they come last.
+            for smo in deep:
+                body += handler_for(ctx, smo).repair_statements()
+            statements.append(
+                emit.create_trigger(tv.trigger_name(op), op, tv.view_name, body)
+            )
+    return statements
+
+
+def _physical_write(tv: TableVersion, op: str) -> list[str]:
+    data = tv.data_table_name
+    columns = tv.schema.column_names
+    if op == "DELETE":
+        return [f"DELETE FROM {data} WHERE p IS OLD.p"]
+    collist = ", ".join(["p", *qcols(columns)])
+    values = ", ".join(["NEW.p", *[f"NEW.{q(c)}" for c in columns]])
+    return [f"INSERT OR REPLACE INTO {data} ({collist}) VALUES ({values})"]
+
+
+def repair_all_statements(engine) -> list[str]:
+    """Extent repairs for every shared-aux SMO (eager identifier
+    initialization at evolution time, consistency pass after migration)."""
+    ctx = HandlerContext(engine)
+    statements: list[str] = []
+    for smo in engine.genealogy.evolution_smos():
+        if has_shared_aux(smo):
+            statements += handler_for(ctx, smo).repair_statements()
+    return statements
+
+
+def generated_object_names(connection) -> tuple[list[str], list[str]]:
+    """(views, triggers) previously generated by this package, as recorded
+    in ``sqlite_master``."""
+    views = [
+        row[0]
+        for row in connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'view' AND name LIKE 'v%'"
+        )
+    ]
+    triggers = [
+        row[0]
+        for row in connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'trigger' "
+            "AND name LIKE 'tg__%'"
+        )
+    ]
+    return views, triggers
+
+
+# ---------------------------------------------------------------------------
+# MATERIALIZE as an in-place SQL migration
+# ---------------------------------------------------------------------------
+
+
+def _aux_stage_name(smo: SmoInstance, role: str) -> str:
+    return physical_name("stageaux", str(smo.uid), role)
+
+
+def migration_statements(
+    engine, schema: frozenset[SmoInstance]
+) -> tuple[list[str], list[str]]:
+    """(stage_statements, swap_statements) implementing ``MATERIALIZE``.
+
+    Stage statements run against the *old* views: they create staging
+    tables holding every new physical data table and every aux table of
+    each SMO's newly stored side.  Swap statements (run after the generated
+    views/triggers are dropped) drop the old tables and rename the staged
+    ones into place.  Shared aux tables (ID) survive unchanged.
+    """
+    ctx = HandlerContext(engine)
+    genealogy = engine.genealogy
+    stage: list[str] = []
+    swap: list[str] = []
+
+    new_physical = physical_table_versions(genealogy, schema)
+    old_physical = [
+        tv
+        for uid in sorted(genealogy.table_versions)
+        if engine._is_physical(tv := genealogy.table_versions[uid])
+    ]
+
+    for tv in new_physical:
+        name = tv.stage_table_name
+        columns = ", ".join(["p", *qcols(tv.schema.column_names)])
+        stage += [
+            f"DROP TABLE IF EXISTS {name}",
+            table_ddl(name, tv.schema.column_names),
+            f"INSERT INTO {name} SELECT {columns} FROM {tv.view_name}",
+        ]
+        swap += [
+            f"DROP TABLE IF EXISTS {tv.data_table_name}",
+            f"ALTER TABLE {name} RENAME TO {tv.data_table_name}",
+        ]
+
+    keep_data = {tv.data_table_name for tv in new_physical}
+    for tv in old_physical:
+        if tv.data_table_name not in keep_data:
+            swap.append(f"DROP TABLE IF EXISTS {tv.data_table_name}")
+
+    for smo in genealogy.evolution_smos():
+        semantics = smo.semantics
+        if semantics is None:
+            continue
+        will_materialize = smo in schema
+        handler = handler_for(ctx, smo)
+        new_side = semantics.aux_tgt() if will_materialize else semantics.aux_src()
+        old_side = semantics.aux_tgt() if smo.materialized else semantics.aux_src()
+        selects = handler.stored_role_selects(will_materialize)
+        for role, schema_for_role in new_side.items():
+            select = selects.get(role)
+            if select is None:
+                raise BackendError(
+                    f"SMO {smo!r} cannot derive aux role {role!r} for migration"
+                )
+            name = _aux_stage_name(smo, role)
+            stage += [
+                f"DROP TABLE IF EXISTS {name}",
+                table_ddl(name, schema_for_role.column_names),
+                f"INSERT INTO {name} ({', '.join(['p', *qcols(schema_for_role.column_names)])}) "
+                f"{select}",
+            ]
+            swap += [
+                f"DROP TABLE IF EXISTS {smo.aux_table_name(role)}",
+                f"ALTER TABLE {name} RENAME TO {smo.aux_table_name(role)}",
+            ]
+        for role in old_side:
+            if role not in new_side:
+                swap.append(f"DROP TABLE IF EXISTS {smo.aux_table_name(role)}")
+    return stage, swap
+
+
+def evolution_statements(engine, version) -> list[str]:
+    """DDL bringing the backend up to date after ``CREATE SCHEMA VERSION``:
+    data tables for new CREATE TABLE targets, (empty) aux tables for the
+    stored sides of the new SMOs, and staging scaffolding."""
+    statements: list[str] = []
+    for smo in engine.genealogy.all_smos():
+        if smo.evolution != version.name:
+            continue
+        if smo.is_initial:
+            tv = smo.targets[0]
+            statements.append(table_ddl(tv.data_table_name, tv.schema.column_names))
+            continue
+        semantics = smo.semantics
+        if semantics is None:  # pragma: no cover - catalog invariant
+            continue
+        aux_tables = dict(semantics.aux_shared())
+        if not smo.materialized:
+            aux_tables.update(semantics.aux_src())
+        for role, schema in aux_tables.items():
+            statements.append(
+                table_ddl(smo.aux_table_name(role), schema.column_names)
+            )
+    statements += scaffold_statements(engine)
+    return statements

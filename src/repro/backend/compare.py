@@ -1,0 +1,176 @@
+"""Comparing visible database states across execution backends.
+
+The differential test harness runs the same workload on the pure-Python
+engine and on the live SQLite backend and asserts that every schema
+version shows the same contents.  Generated surrogate identifiers (the
+``id``/foreign-key columns minted by the FK and condition SMOs) are drawn
+from each system's own sequence, so their concrete values may differ while
+the states are isomorphic; :func:`canonical_state` relabels every
+identifier space consistently (by the payload context in which each value
+first appears) so isomorphic states compare equal and structurally
+different states do not.
+
+Ambiguity note: two identifiers whose entire payload context is identical
+(duplicate rows in an id-defining table) cannot be distinguished; test
+workloads should keep payloads distinct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.bidel.smo.conditional import DecomposeCondSemantics
+from repro.bidel.smo.foreign_key import DecomposeFkSemantics
+from repro.bidel.smo.simple import RenameColumnSemantics
+from repro.catalog.genealogy import Genealogy
+
+State = dict[tuple[str, str], list[tuple]]
+Spaces = dict[int, dict[str, tuple]]
+
+
+def _normalize(value):
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def visible_state(engine, backend=None) -> State:
+    """{(version, table): sorted rows} of every active version, read
+    through ``backend`` when given, through the engine otherwise."""
+    state: State = {}
+    for version in sorted(engine.genealogy.active_versions(), key=lambda v: v.name):
+        for table in version.table_names():
+            if backend is not None:
+                rows = [tuple(row) for row in backend.select(version.name, table)]
+            else:
+                tv = version.table_version(table)
+                rows = list(engine.read_table_version(tv, cache={}).values())
+            state[(version.name, table)] = sorted(
+                (tuple(_normalize(v) for v in row) for row in rows), key=_sort_key
+            )
+    return state
+
+
+def generated_id_spaces(genealogy: Genealogy) -> Spaces:
+    """tv.uid -> {column name: identifier-space key} for every column that
+    carries generated surrogate identifiers."""
+    spaces: Spaces = {}
+    for smo in genealogy.all_smos():
+        if smo.is_initial:
+            continue
+        inherited: dict[str, tuple] = {}
+        for tv in smo.sources:
+            for column, space in spaces.get(tv.uid, {}).items():
+                inherited.setdefault(column, space)
+        semantics = smo.semantics
+        renames: Mapping[str, str] = {}
+        if isinstance(semantics, RenameColumnSemantics):
+            renames = {semantics.node.column: semantics.node.new_name}
+        for tv in smo.targets:
+            own: dict[str, tuple] = {}
+            for column, space in inherited.items():
+                column = renames.get(column, column)
+                if tv.schema.has_column(column):
+                    own[column] = space
+            if own:
+                spaces[tv.uid] = own
+        if isinstance(semantics, DecomposeFkSemantics):
+            s_tv, t_tv = smo.targets
+            fk = semantics.node.kind.fk_column or "fk"
+            spaces.setdefault(s_tv.uid, {})[fk] = (smo.uid, "fk")
+            spaces.setdefault(t_tv.uid, {})["id"] = (smo.uid, "fk")
+        elif isinstance(semantics, DecomposeCondSemantics):
+            s_tv, t_tv = smo.targets
+            spaces.setdefault(s_tv.uid, {})["id"] = (smo.uid, "s")
+            spaces.setdefault(t_tv.uid, {})["id"] = (smo.uid, "t")
+    return spaces
+
+
+def canonical_state(engine, state: State) -> State:
+    """Relabel every generated-identifier space of ``state`` with canonical
+    indexes assigned by sorted payload context."""
+    spaces = generated_id_spaces(engine.genealogy)
+    # (space -> [(context signature, value)]) over the whole state.
+    occurrences: dict[tuple, list[tuple]] = {}
+    column_spaces: dict[tuple[str, str], dict[int, tuple]] = {}
+    for (version_name, table), rows in state.items():
+        version = engine.genealogy.schema_version(version_name)
+        tv = version.table_version(table)
+        by_column = spaces.get(tv.uid)
+        if not by_column:
+            continue
+        names = tv.schema.column_names
+        indexed = {
+            index: by_column[name]
+            for index, name in enumerate(names)
+            if name in by_column
+        }
+        column_spaces[(version_name, table)] = indexed
+        for row in rows:
+            context = tuple(
+                value for index, value in enumerate(row) if index not in indexed
+            )
+            for index, space in indexed.items():
+                if row[index] is None:
+                    continue
+                occurrences.setdefault(space, []).append(
+                    ((version_name, table, context), row[index])
+                )
+    canonical: dict[tuple, dict] = {}
+    for space, pairs in occurrences.items():
+        mapping: dict = {}
+        for _context, value in sorted(
+            pairs, key=lambda pair: (_sort_key(pair[0]), _sort_key(pair[1]))
+        ):
+            if value not in mapping:
+                mapping[value] = len(mapping)
+        canonical[space] = mapping
+    out: State = {}
+    for key, rows in state.items():
+        indexed = column_spaces.get(key, {})
+        if not indexed:
+            out[key] = list(rows)
+            continue
+        rewritten = []
+        for row in rows:
+            rewritten.append(
+                tuple(
+                    (
+                        canonical[indexed[index]].get(value, f"?{value}")
+                        if index in indexed and value is not None
+                        else value
+                    )
+                    for index, value in enumerate(row)
+                )
+            )
+        out[key] = sorted(rewritten, key=_sort_key)
+    return out
+
+
+def _sort_key(value):
+    """Total order over heterogeneous values (None < numbers < strings)."""
+    if isinstance(value, tuple):
+        return (3, tuple(_sort_key(v) for v in value))
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def assert_states_match(engine_a, state_a: State, engine_b, state_b: State) -> None:
+    """Assert canonical equality, with a readable diff on failure."""
+    canon_a = canonical_state(engine_a, state_a)
+    canon_b = canonical_state(engine_b, state_b)
+    if canon_a == canon_b:
+        return
+    lines = []
+    for key in sorted(set(canon_a) | set(canon_b)):
+        left, right = canon_a.get(key), canon_b.get(key)
+        if left != right:
+            lines.append(f"{key[0]}.{key[1]}:")
+            lines.append(f"  A: {left}")
+            lines.append(f"  B: {right}")
+    raise AssertionError("visible states differ:\n" + "\n".join(lines))

@@ -1,0 +1,199 @@
+"""Low-level SQL text emitters shared by the backend code generators.
+
+Everything here renders *strings*; nothing talks to a database.  The
+conventions mirror the engine's storage model: every table and view carries
+the InVerDa tuple identifier as an explicit leading column ``p``, and NULL
+handling is always null-safe (``IS`` / ``IS NOT``) because SMO mappings
+routinely traffic in NULL payloads (the paper's omega rows).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.expr.ast import Expression
+from repro.util.naming import quote_identifier
+
+SEQUENCES_TABLE = "repro_sequences"
+ROW_ID_SEQUENCE = "p"
+
+
+def q(name: str) -> str:
+    return quote_identifier(name)
+
+
+def qcols(names: Iterable[str]) -> list[str]:
+    return [quote_identifier(name) for name in names]
+
+
+def sequences_ddl() -> str:
+    return (
+        f"CREATE TABLE IF NOT EXISTS {SEQUENCES_TABLE} "
+        "(name TEXT PRIMARY KEY, value INTEGER NOT NULL)"
+    )
+
+
+def table_ddl(name: str, columns: Sequence[str], *, temp: bool = False) -> str:
+    """``CREATE TABLE`` with the leading ``p`` key plus payload columns."""
+    parts = ["p INTEGER PRIMARY KEY"] + [f"{q(c)}" for c in columns]
+    keyword = "CREATE TEMP TABLE" if temp else "CREATE TABLE"
+    return f"{keyword} IF NOT EXISTS {name} ({', '.join(parts)})"
+
+
+def empty_relation(columns: Sequence[str]) -> str:
+    """A subquery usable as a table name for an aux role that is not stored
+    under the current materialization (the engine reads it as empty)."""
+    cols = ", ".join(f"NULL AS {q(c)}" for c in ("p", *columns))
+    return f"(SELECT {cols} WHERE 0)"
+
+
+def seq_next_statements(sequence: str, *, guard: str | None = None) -> list[str]:
+    """Advance ``sequence`` by one; the new value is then readable via
+    :func:`seq_value`.  With ``guard``, the bump only happens when the guard
+    condition holds (used for conditional allocation inside triggers)."""
+    where = f"name = '{sequence}'"
+    if guard is not None:
+        where += f" AND ({guard})"
+    return [f"UPDATE {SEQUENCES_TABLE} SET value = value + 1 WHERE {where}"]
+
+
+def seq_value(sequence: str) -> str:
+    return f"(SELECT value FROM {SEQUENCES_TABLE} WHERE name = '{sequence}')"
+
+
+def ident(a: str, b: str) -> str:
+    """Null-safe equality."""
+    return f"{a} IS {b}"
+
+
+def all_null(expressions: Sequence[str]) -> str:
+    """SQL for "every expression is NULL" (true for an empty sequence,
+    matching :func:`repro.bidel.smo.base.is_all_null`)."""
+    if not expressions:
+        return "1"
+    return "(" + " AND ".join(f"{e} IS NULL" for e in expressions) + ")"
+
+
+def not_all_null(expressions: Sequence[str]) -> str:
+    if not expressions:
+        return "0"
+    return "(" + " OR ".join(f"{e} IS NOT NULL" for e in expressions) + ")"
+
+
+def rows_differ(left_alias: str, right_alias: str, columns: Sequence[str]) -> str:
+    """Null-safe row inequality across payload columns."""
+    if not columns:
+        return "0"
+    parts = [f"{left_alias}.{q(c)} IS NOT {right_alias}.{q(c)}" for c in columns]
+    return "(" + " OR ".join(parts) + ")"
+
+
+def render_expression(expression: Expression, references: Mapping[str, str]) -> str:
+    """Render a scalar expression with column names bound to SQL references
+    (``NEW.col``, ``alias.col``, ...)."""
+    return expression.rename(dict(references)).to_sql()
+
+
+def new_refs(columns: Iterable[str], *, row: str = "NEW") -> dict[str, str]:
+    return {c: f"{row}.{q(c)}" for c in columns}
+
+
+# ---------------------------------------------------------------------------
+# Row-level write statements
+# ---------------------------------------------------------------------------
+
+
+def upsert_row(
+    target: str,
+    columns: Sequence[str],
+    key_sql: str,
+    value_sqls: Sequence[str],
+    *,
+    guard: str | None = None,
+    plain_table: bool = False,
+) -> list[str]:
+    """Upsert one row (``key_sql`` -> values) into a view or table.
+
+    Views have no conflict clause, so the view form is an UPDATE of the
+    existing row followed by an insert-if-absent; both honour ``guard``.
+    """
+    collist = ", ".join(["p", *qcols(columns)])
+    values = ", ".join([key_sql, *value_sqls])
+    guard_sql = f" AND ({guard})" if guard is not None else ""
+    if plain_table:
+        return [
+            f"INSERT OR REPLACE INTO {target} ({collist}) "
+            f"SELECT {values} WHERE 1{guard_sql}"
+        ]
+    statements = []
+    if columns:
+        sets = ", ".join(
+            f"{q(c)} = {v}" for c, v in zip(columns, value_sqls)
+        )
+        statements.append(
+            f"UPDATE {target} SET {sets} WHERE p IS {key_sql}{guard_sql}"
+        )
+    statements.append(
+        f"INSERT INTO {target} ({collist}) SELECT {values} "
+        f"WHERE NOT EXISTS (SELECT 1 FROM {target} WHERE p IS {key_sql}){guard_sql}"
+    )
+    return statements
+
+
+def delete_row(target: str, key_sql: str, *, guard: str | None = None) -> str:
+    guard_sql = f" AND ({guard})" if guard is not None else ""
+    return f"DELETE FROM {target} WHERE p IS {key_sql}{guard_sql}"
+
+
+def apply_extent(
+    target: str,
+    columns: Sequence[str],
+    source: str,
+    *,
+    plain_table: bool = False,
+) -> list[str]:
+    """Make ``target``'s extent equal to ``source``'s (a staged table):
+    delete missing rows, update changed rows, insert new rows.  ``target``
+    may be a generated view (fires its INSTEAD OF triggers row by row) or a
+    physical/aux table."""
+    collist = ", ".join(["p", *qcols(columns)])
+    statements = [
+        f"DELETE FROM {target} WHERE p NOT IN (SELECT p FROM {source})"
+    ]
+    if plain_table:
+        statements.append(
+            f"INSERT OR REPLACE INTO {target} ({collist}) "
+            f"SELECT {collist} FROM {source}"
+        )
+        return statements
+    if columns:
+        setlist = ", ".join(qcols(columns))
+        changed = (
+            f"SELECT s.p FROM {source} s JOIN {target} t ON t.p = s.p "
+            f"WHERE {rows_differ('s', 't', columns)}"
+        )
+        statements.append(
+            f"UPDATE {target} SET ({setlist}) = "
+            f"(SELECT {setlist} FROM {source} s WHERE s.p = {target}.p) "
+            f"WHERE p IN ({changed})"
+        )
+    statements.append(
+        f"INSERT INTO {target} ({collist}) SELECT {collist} FROM {source} "
+        f"WHERE p NOT IN (SELECT p FROM {target})"
+    )
+    return statements
+
+
+def create_view(name: str, select_sql: str) -> str:
+    return f"CREATE VIEW {name} AS\n{select_sql}"
+
+
+def create_trigger(
+    name: str, operation: str, view_name: str, statements: Sequence[str]
+) -> str:
+    """An ``INSTEAD OF`` trigger with the given body statements."""
+    body = ";\n  ".join(statements)
+    return (
+        f"CREATE TRIGGER {name} INSTEAD OF {operation} ON {view_name}\n"
+        f"BEGIN\n  {body};\nEND"
+    )

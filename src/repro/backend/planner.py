@@ -1,0 +1,250 @@
+"""Lowering DB-API statements onto live-backend SQL.
+
+The statement AST of :mod:`repro.sql` is rendered back into SQLite SQL
+against the generated views, pushing WHERE / ORDER BY / LIMIT / OFFSET
+down to the backend's query engine.  ``?`` placeholders are renumbered to
+``?N`` so parameter positions survive re-rendering.  Semantics mirror the
+in-memory planner: the ``rowid`` pseudo-column maps to the tuple id ``p``,
+NULLs sort last in either direction, generated key columns reject updates,
+and the cursor ``description`` is identical on both backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import TYPE_CHECKING
+
+from repro.backend.emit import q, qcols
+from repro.catalog.versions import SchemaVersion
+from repro.errors import AccessError, ProgrammingError
+from repro.expr.ast import (
+    Binary,
+    BoolOp,
+    Column,
+    Comparison,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+)
+from repro.sql.ast import BidelStatement, Delete, Insert, Parameter, Select, Update
+from repro.sql.planner import (
+    ROWID,
+    StatementResult,
+    _projection,
+    build_insert_mappings,
+    resolve_table,
+    rowid_exposed,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backend.sqlite import LiveSqliteBackend
+    from repro.catalog.genealogy import TableVersion
+
+# SQLite spellings for scalar functions whose names differ from ours.
+_FUNCTION_NAMES = {"least": "min", "greatest": "max"}
+
+
+class SqlRenderer:
+    """Render an expression tree as SQLite SQL over one table version's
+    view, with ``?N`` parameter placeholders."""
+
+    def __init__(self, tv: "TableVersion"):
+        self.tv = tv
+
+    def render(self, expression: Expression) -> str:
+        if isinstance(expression, Literal):
+            return expression.to_sql()
+        if isinstance(expression, Parameter):
+            return f"?{expression.index + 1}"
+        if isinstance(expression, Column):
+            if self.tv.schema.has_column(expression.name):
+                return q(expression.name)
+            if expression.name == ROWID and rowid_exposed(self.tv):
+                return "p"
+            raise ProgrammingError(
+                f"table {self.tv.name!r} has no column {expression.name!r}"
+            )
+        if isinstance(expression, Unary):
+            inner = self.render(expression.operand)
+            if expression.op == "NOT":
+                return f"NOT ({inner})"
+            return f"{expression.op}({inner})"
+        if isinstance(expression, Binary):
+            return f"({self.render(expression.left)} {expression.op} {self.render(expression.right)})"
+        if isinstance(expression, Comparison):
+            op = "<>" if expression.op == "!=" else expression.op
+            return f"({self.render(expression.left)} {op} {self.render(expression.right)})"
+        if isinstance(expression, BoolOp):
+            joined = f" {expression.op} ".join(self.render(i) for i in expression.items)
+            return f"({joined})"
+        if isinstance(expression, IsNull):
+            suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+            return f"({self.render(expression.operand)} {suffix})"
+        if isinstance(expression, InList):
+            values = ", ".join(self.render(i) for i in expression.items)
+            keyword = "NOT IN" if expression.negated else "IN"
+            return f"({self.render(expression.operand)} {keyword} ({values}))"
+        if isinstance(expression, Like):
+            keyword = "NOT LIKE" if expression.negated else "LIKE"
+            return (
+                f"({self.render(expression.operand)} {keyword} "
+                f"{self.render(expression.pattern)})"
+            )
+        if isinstance(expression, FuncCall):
+            if expression.name == "concat":
+                if not expression.args:
+                    return "''"
+                return "(" + " || ".join(self.render(a) for a in expression.args) + ")"
+            name = _FUNCTION_NAMES.get(expression.name, expression.name)
+            rendered = ", ".join(self.render(a) for a in expression.args)
+            return f"{name}({rendered})"
+        raise ProgrammingError(
+            f"cannot push {type(expression).__name__} down to the SQLite backend"
+        )
+
+
+def _where_sql(renderer: SqlRenderer, where: Expression | None) -> str:
+    if where is None:
+        return ""
+    # WHERE semantics require a genuine TRUE; SQLite's WHERE already
+    # treats NULL as not-satisfied.
+    return f" WHERE {renderer.render(where)}"
+
+
+def _max_param_index(expression) -> int:
+    """Highest ``?N`` index (1-based) appearing in an expression tree, 0
+    when parameter-free."""
+    if isinstance(expression, Parameter):
+        return expression.index + 1
+    highest = 0
+    if is_dataclass(expression):
+        for field in fields(expression):
+            value = getattr(expression, field.name)
+            candidates = value if isinstance(value, tuple) else (value,)
+            for candidate in candidates:
+                if isinstance(candidate, Expression):
+                    highest = max(highest, _max_param_index(candidate))
+    return highest
+
+
+def _params_for(where: Expression | None, params: tuple) -> tuple:
+    """sqlite3 requires exactly as many bindings as the statement's highest
+    ``?N``; a re-rendered WHERE-only statement uses a prefix of them."""
+    if where is None:
+        return ()
+    return params[: _max_param_index(where)]
+
+
+def execute_select(
+    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Select, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    items, description = _projection(tv, stmt.items)
+    renderer = SqlRenderer(tv)
+    select_list = ", ".join(renderer.render(item.expression) for item in items)
+    sql = f"SELECT {select_list} FROM {tv.view_name}"
+    sql += _where_sql(renderer, stmt.where)
+    if stmt.order_by:
+        keys = []
+        for item in stmt.order_by:
+            direction = "DESC" if item.descending else "ASC"
+            keys.append(f"{renderer.render(item.expression)} {direction} NULLS LAST")
+        sql += " ORDER BY " + ", ".join(keys)
+    if stmt.limit is not None:
+        sql += f" LIMIT {renderer.render(stmt.limit)}"
+        if stmt.offset is not None:
+            sql += f" OFFSET {renderer.render(stmt.offset)}"
+    rows = backend.execute(sql, params).fetchall()
+    return StatementResult(description=description, rows=rows, rowcount=len(rows))
+
+
+def execute_insert(
+    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Insert, params: tuple
+) -> StatementResult:
+    tv, mappings = build_insert_mappings(version, stmt, params)
+    keys: list[int] = []
+    rows: list[tuple] = []
+    for values in mappings:
+        if tv.key_column is not None:
+            provided = values.get(tv.key_column)
+            key = int(provided) if provided is not None else backend.allocate_key()
+            values = dict(values)
+            values[tv.key_column] = key
+        else:
+            key = backend.allocate_key()
+        rows.append((key, *tv.schema.row_from_mapping(values)))
+        keys.append(key)
+    if rows:
+        collist = ", ".join(["p", *qcols(tv.schema.column_names)])
+        placeholders = ", ".join("?" for _ in range(len(tv.schema.column_names) + 1))
+        cursor = backend.connection.cursor()
+        cursor.executemany(
+            f"INSERT INTO {tv.view_name} ({collist}) VALUES ({placeholders})", rows
+        )
+    return StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
+
+
+def _matched_count(
+    backend: "LiveSqliteBackend",
+    tv: "TableVersion",
+    renderer: SqlRenderer,
+    where: Expression | None,
+    params: tuple,
+) -> int:
+    sql = f"SELECT COUNT(*) FROM {tv.view_name}" + _where_sql(renderer, where)
+    return int(backend.execute(sql, _params_for(where, params)).fetchone()[0])
+
+
+def execute_update(
+    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Update, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    renderer = SqlRenderer(tv)
+    sets = []
+    for name, expression in stmt.assignments:
+        if not tv.schema.has_column(name):
+            raise ProgrammingError(f"table {tv.name!r} has no column {name!r}")
+        if name == tv.key_column:
+            raise AccessError(
+                f"column {name!r} of {tv.name!r} is the generated "
+                "identifier and cannot be updated"
+            )
+        sets.append(f"{q(name)} = {renderer.render(expression)}")
+    count = _matched_count(backend, tv, renderer, stmt.where, params)
+    if count:
+        sql = f"UPDATE {tv.view_name} SET {', '.join(sets)}"
+        sql += _where_sql(renderer, stmt.where)
+        backend.execute(sql, params)
+    return StatementResult(rowcount=count)
+
+
+def execute_delete(
+    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Delete, params: tuple
+) -> StatementResult:
+    tv = resolve_table(version, stmt.table)
+    renderer = SqlRenderer(tv)
+    count = _matched_count(backend, tv, renderer, stmt.where, params)
+    if count:
+        sql = f"DELETE FROM {tv.view_name}" + _where_sql(renderer, stmt.where)
+        backend.execute(sql, params)
+    return StatementResult(rowcount=count)
+
+
+def execute_statement_sqlite(
+    backend: "LiveSqliteBackend", version: SchemaVersion, stmt, params: tuple
+) -> StatementResult:
+    if isinstance(stmt, Select):
+        return execute_select(backend, version, stmt, params)
+    if isinstance(stmt, Insert):
+        return execute_insert(backend, version, stmt, params)
+    if isinstance(stmt, Update):
+        return execute_update(backend, version, stmt, params)
+    if isinstance(stmt, Delete):
+        return execute_delete(backend, version, stmt, params)
+    if isinstance(stmt, BidelStatement):  # pragma: no cover - handled upstream
+        raise ProgrammingError("BiDEL DDL runs through the engine, not the backend")
+    raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")

@@ -1,0 +1,206 @@
+"""The live SQLite execution backend.
+
+``LiveSqliteBackend.attach(engine)`` snapshots the engine's physical
+storage into a SQLite database, installs the generated views and ``INSTEAD
+OF`` trigger programs for every co-existing schema version, and registers
+itself with the engine so the delta code is regenerated on every catalog
+transition (evolution, migration, drop).
+
+From then on SQLite is the data plane: reads of any version go through the
+generated views, writes issued against any version's view propagate to the
+physical and auxiliary tables entirely inside SQLite via the trigger
+cascade, and ``MATERIALIZE`` runs as a generated in-place SQL migration
+(stage new physical tables from the old views, swap, regenerate).  The
+engine's in-memory tables remain a snapshot from attach time.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING
+
+from repro.backend import codegen, emit
+from repro.backend.emit import qcols
+from repro.errors import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.genealogy import SmoInstance
+    from repro.catalog.versions import SchemaVersion
+    from repro.core.engine import InVerDa
+
+
+class LiveSqliteBackend:
+    """A SQLite database serving reads *and* writes on every version."""
+
+    def __init__(self, engine: "InVerDa", connection: sqlite3.Connection):
+        self.engine = engine
+        self.connection = connection
+        self._closed = False
+        # Bumped by the SQL layer whenever the underlying SQLite
+        # transaction ends; connections compare it against the epoch they
+        # began in, so a stale owner can never COMMIT/ROLLBACK a newer
+        # transaction opened by someone else.
+        self.transaction_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, engine: "InVerDa", *, database: str = ":memory:") -> "LiveSqliteBackend":
+        """Snapshot ``engine`` into SQLite, install the generated delta
+        code, and register with the engine."""
+        connection = sqlite3.connect(database)
+        connection.isolation_level = None  # manual transaction control
+        backend = cls(engine, connection)
+        backend._load_snapshot()
+        backend.regenerate()
+        backend._run(codegen.repair_all_statements(engine))
+        engine.attach_backend(backend)
+        return backend
+
+    def _load_snapshot(self) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute(emit.sequences_ddl())
+        for name, value in self.engine.database.sequences.items():
+            cursor.execute(
+                f"INSERT OR REPLACE INTO {emit.SEQUENCES_TABLE} VALUES (?, ?)",
+                (name, value),
+            )
+        cursor.execute(
+            f"INSERT OR IGNORE INTO {emit.SEQUENCES_TABLE} VALUES (?, 0)",
+            (emit.ROW_ID_SEQUENCE,),
+        )
+        for name, table in self.engine.database.tables.items():
+            columns = table.schema.column_names
+            cursor.execute(emit.table_ddl(name, columns))
+            placeholders = ", ".join("?" for _ in range(len(columns) + 1))
+            cursor.executemany(
+                f"INSERT INTO {name} VALUES ({placeholders})",
+                [(key, *row) for key, row in table],
+            )
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Delta-code generation
+    # ------------------------------------------------------------------
+
+    def _run(self, statements: list[str]) -> None:
+        cursor = self.connection.cursor()
+        for statement in statements:
+            try:
+                cursor.execute(statement)
+            except sqlite3.Error as exc:
+                raise BackendError(
+                    f"generated SQL failed: {exc}\n--- statement ---\n{statement}"
+                ) from exc
+
+    def drop_generated(self) -> None:
+        views, triggers = codegen.generated_object_names(self.connection)
+        cursor = self.connection.cursor()
+        for trigger in triggers:
+            cursor.execute(f"DROP TRIGGER IF EXISTS {trigger}")
+        for view in views:
+            cursor.execute(f"DROP VIEW IF EXISTS {view}")
+
+    def regenerate(self) -> None:
+        """(Re)install scaffolding, views, and trigger programs for the
+        catalog's current state."""
+        self.drop_generated()
+        self._run(codegen.scaffold_statements(self.engine))
+        self._run(codegen.view_statements(self.engine))
+        self._run(codegen.trigger_statements(self.engine))
+
+    def generated_sql(self) -> str:
+        """The full delta-code script (for inspection and code metrics)."""
+        return ";\n".join(
+            codegen.view_statements(self.engine)
+            + codegen.trigger_statements(self.engine)
+        )
+
+    # ------------------------------------------------------------------
+    # Engine hooks (ExecutionBackend)
+    # ------------------------------------------------------------------
+
+    def on_evolution(self, version: "SchemaVersion") -> None:
+        self._run(codegen.evolution_statements(self.engine, version))
+        self.regenerate()
+        self._run(codegen.repair_all_statements(self.engine))
+        self.connection.commit()
+
+    def on_materialize(self, schema: frozenset["SmoInstance"]) -> None:
+        stage, swap = codegen.migration_statements(self.engine, schema)
+        self._run(stage)
+        self.drop_generated()
+        self._run(swap)
+
+    def after_materialize(self) -> None:
+        self.regenerate()
+        self._run(codegen.repair_all_statements(self.engine))
+        self.connection.commit()
+
+    def on_drop(self, version_name: str, removed: list["SmoInstance"]) -> None:
+        from repro.backend.handlers import HandlerContext, handler_for
+
+        cursor = self.connection.cursor()
+        ctx = HandlerContext(self.engine)
+        for smo in removed:
+            semantics = smo.semantics
+            tables: set[str] = set()
+            if semantics is not None:
+                for role in (
+                    set(semantics.aux_src())
+                    | set(semantics.aux_tgt())
+                    | set(semantics.aux_shared())
+                ):
+                    tables.add(smo.aux_table_name(role))
+                tables |= set(handler_for(ctx, smo).put_tables())
+            for table in tables:
+                cursor.execute(f"DROP TABLE IF EXISTS {table}")
+        self.regenerate()
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def allocate_key(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute(
+            f"UPDATE {emit.SEQUENCES_TABLE} SET value = value + 1 WHERE name = ?",
+            (emit.ROW_ID_SEQUENCE,),
+        )
+        row = cursor.execute(
+            f"SELECT value FROM {emit.SEQUENCES_TABLE} WHERE name = ?",
+            (emit.ROW_ID_SEQUENCE,),
+        ).fetchone()
+        return int(row[0])
+
+    def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        return self.connection.execute(sql, parameters)
+
+    def select(self, version_name: str, table: str) -> list[tuple]:
+        tv = self.engine.genealogy.schema_version(version_name).table_version(table)
+        columns = ", ".join(qcols(tv.schema.column_names))
+        return self.connection.execute(
+            f"SELECT {columns} FROM {tv.view_name}"
+        ).fetchall()
+
+    def select_keyed(self, version_name: str, table: str) -> dict[int, tuple]:
+        tv = self.engine.genealogy.schema_version(version_name).table_version(table)
+        columns = ", ".join(["p", *qcols(tv.schema.column_names)])
+        cursor = self.connection.execute(f"SELECT {columns} FROM {tv.view_name}")
+        return {row[0]: row[1:] for row in cursor.fetchall()}
+
+    def table_names(self) -> list[str]:
+        rows = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.detach_backend(self)
+        self.connection.close()

@@ -370,9 +370,17 @@ class _PartitionLens:
                     ),
                 )
             )
-        rules.append(
-            Rule(Atom(roles.unified, (key, *payload)), (Atom(roles.uprime, (key, *payload)),))
-        )
+        # An invisible unified row surfaces only when no partition holds the
+        # key (R, then S, is the primus inter pares — matching unify()).
+        uprime_body: list = [
+            Atom(roles.uprime, (key, *payload)),
+            Atom(roles.first, (key, *(wildcard() for _ in payload)), False),
+        ]
+        if roles.second is not None:
+            uprime_body.append(
+                Atom(roles.second, (key, *(wildcard() for _ in payload)), False)
+            )
+        rules.append(Rule(Atom(roles.unified, (key, *payload)), tuple(uprime_body)))
         rules.append(
             Rule(
                 Atom(roles.rstar, (key,)),

@@ -44,6 +44,22 @@ class TableVersion:
         """Physical name of this table version's data table (when stored)."""
         return physical_name("d", str(self.uid), self.name)
 
+    @property
+    def view_name(self) -> str:
+        """Name of the generated view serving this table version's reads
+        and writes on a live execution backend (and in emitted delta code)."""
+        return physical_name("v" + str(self.uid), self.name)
+
+    @property
+    def stage_table_name(self) -> str:
+        """Staging table used by generated trigger programs to assemble
+        this table version's post-write extent."""
+        return physical_name("stage", str(self.uid), self.name)
+
+    def trigger_name(self, operation: str) -> str:
+        """Name of the INSTEAD OF trigger for ``operation`` on the view."""
+        return physical_name("tg", str(self.uid), operation.lower())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TableVersion {self.name}@{self.created_in} #{self.uid}>"
 
@@ -81,6 +97,11 @@ class SmoInstance:
 
     def sequence_name(self, role: str) -> str:
         return physical_name("seq", str(self.uid), role)
+
+    def put_table_name(self, role: str) -> str:
+        """Staging table for the ``role`` output of this SMO's generated
+        write-propagation (put) programs."""
+        return physical_name("put", str(self.uid), role)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "mat" if self.materialized else "virt"

@@ -42,6 +42,47 @@ class WorkloadProfile:
         return set(self.reads) | set(self.writes)
 
 
+@dataclass
+class WorkloadRecorder:
+    """Live per-version access counters fed by the DB-API cursors.
+
+    Every SELECT executed through a connection counts as one read on that
+    connection's schema version, every INSERT/UPDATE/DELETE as one write
+    (``executemany`` counts each parameter row).  The recorder turns live
+    traffic into the :class:`WorkloadProfile` the materialization advisor
+    consumes, so the advisor runs off observed workloads instead of
+    hand-built profiles.
+    """
+
+    reads: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+
+    def record_read(self, version_name: str, count: int = 1) -> None:
+        self.reads[version_name] = self.reads.get(version_name, 0) + count
+
+    def record_write(self, version_name: str, count: int = 1) -> None:
+        self.writes[version_name] = self.writes.get(version_name, 0) + count
+
+    def reset(self) -> None:
+        self.reads.clear()
+        self.writes.clear()
+
+    @property
+    def empty(self) -> bool:
+        return not self.reads and not self.writes
+
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            reads={k: float(v) for k, v in self.reads.items()},
+            writes={k: float(v) for k, v in self.writes.items()},
+        )
+
+
+def recommend_from_live(engine) -> Recommendation:
+    """Recommend a materialization from the engine's recorded live traffic."""
+    return recommend_materialization(engine.genealogy, engine.workload.profile())
+
+
 @dataclass(frozen=True)
 class Recommendation:
     schema: MaterializationSchema

@@ -64,6 +64,31 @@ class InVerDa:
         # Memo: does anything stored lie beyond (smo, direction)? Reset on
         # every evolution and migration.
         self._propagation_needs: dict[tuple[int, str], bool] = {}
+        # Attached execution backends (e.g. the live SQLite backend). When
+        # one is attached it owns the data plane; the in-memory tables are
+        # a snapshot from attach time, but the catalog (and the *layout* of
+        # physical storage, which the code generators consult) stays live.
+        self._backends: list = []
+        from repro.core.advisor import WorkloadRecorder
+
+        self.workload = WorkloadRecorder()
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+
+    def attach_backend(self, backend) -> None:
+        if backend not in self._backends:
+            self._backends.append(backend)
+
+    def detach_backend(self, backend) -> None:
+        if backend in self._backends:
+            self._backends.remove(backend)
+
+    @property
+    def live_backend(self):
+        """The attached execution backend, if any."""
+        return self._backends[0] if self._backends else None
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -94,11 +119,17 @@ class InVerDa:
 
         return VersionConnection(self, self.genealogy.schema_version(version_name))
 
-    def sql_connect(self, version_name: str | None = None, *, autocommit: bool = False):
+    def sql_connect(
+        self,
+        version_name: str | None = None,
+        *,
+        autocommit: bool = False,
+        backend: str | None = None,
+    ):
         """A PEP-249 connection to one schema version (see :func:`repro.connect`)."""
         from repro.sql.connection import connect
 
-        return connect(self, version_name, autocommit=autocommit)
+        return connect(self, version_name, autocommit=autocommit, backend=backend)
 
     # ------------------------------------------------------------------
     # Database Evolution Operation
@@ -114,6 +145,8 @@ class InVerDa:
         self.genealogy.add_schema_version(version)
         self.genealogy.check_acyclic()
         self._propagation_needs.clear()
+        for backend in self._backends:
+            backend.on_evolution(version)
         return version
 
     def _apply_smo(
@@ -209,6 +242,7 @@ class InVerDa:
         removable = self.genealogy.drop_schema_version(version.name)
         # SMOs no longer connecting remaining versions are garbage-collected
         # from the catalog; their data stays where the materialization put it.
+        removed: list[SmoInstance] = []
         for smo in removable:
             if smo.materialized or any(
                 self._is_physical(tv) for tv in smo.targets
@@ -224,6 +258,9 @@ class InVerDa:
                 if self.database.has_table(table_name):
                     self.database.drop_table(table_name)
             self.genealogy.smo_instances.pop(smo.uid, None)
+            removed.append(smo)
+        for backend in self._backends:
+            backend.on_drop(name, removed)
 
     # ------------------------------------------------------------------
     # Routing
@@ -237,6 +274,17 @@ class InVerDa:
         for smo in tv.outgoing:
             if smo.materialized:
                 return smo
+        return None
+
+    def _route_smo(self, tv: TableVersion) -> SmoInstance | None:
+        """The SMO a derived table version's reads are routed through."""
+        if self._is_physical(tv):
+            return None
+        forward = self._forward_smo(tv)
+        if forward is not None:
+            return forward
+        if tv.incoming is not None and not tv.incoming.is_initial:
+            return tv.incoming
         return None
 
     def read_stored(self, tv: TableVersion) -> KeyedRows:
@@ -541,7 +589,15 @@ class InVerDa:
         for role, new_rows in new_state.items():
             tv = output_roles.get(role)
             if tv is not None:
-                current = self.read_table_version(tv, cache=cache)
+                # Diff against the STORED extent when the output table's
+                # read route leads back through this SMO: reading it via the
+                # routing would derive from the already-applied write and
+                # self-suppress the diff, silently skipping downstream
+                # propagation (in particular shared-ID maintenance).
+                if self._route_smo(tv) is smo:
+                    current = self.read_stored(tv)
+                else:
+                    current = self.read_table_version(tv, cache=cache)
             else:
                 current = self.read_aux(smo, role)
             diff = TableChange()
@@ -581,6 +637,11 @@ class InVerDa:
         flag is updated and obsolete tables are dropped.
         """
         validate_materialization(self.genealogy, schema)
+        # Attached backends migrate first, against the old views and flags;
+        # the in-memory rebuild below then keeps the *layout* of physical
+        # storage in sync (backends own the actual contents).
+        for backend in self._backends:
+            backend.on_materialize(schema)
         cache: ReadCache = {}
         new_tables: dict[str, Table] = {}
 
@@ -634,6 +695,8 @@ class InVerDa:
             smo.materialized = smo in schema
         self._invalidate_semantics_caches()
         self._propagation_needs.clear()
+        for backend in self._backends:
+            backend.after_materialize()
 
     def current_materialization(self) -> frozenset[SmoInstance]:
         return current_materialization(self.genealogy)

@@ -32,6 +32,8 @@ Semantics:
 
 from __future__ import annotations
 
+import itertools
+import sqlite3
 from collections.abc import Iterator, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -57,12 +59,15 @@ from repro.sql.planner import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.backend.sqlite import LiveSqliteBackend
     from repro.core.engine import InVerDa
+
+_scope_counter = itertools.count()
 
 
 @dataclass
 class _Transaction:
-    journal: list  # the engine undo log this transaction writes into
+    journal: list | str | None  # engine undo log (memory) / savepoint (sqlite)
     mark: int  # journal length when this connection's transaction began
     owner: bool  # did this connection open the engine-level journal?
 
@@ -86,25 +91,26 @@ def _normalize_params(parameters: Sequence[Any] | None, expected: int) -> tuple:
 
 @contextmanager
 def _translated_errors():
-    """Surface engine-level failures as DB-API error classes."""
+    """Surface engine-level and backend failures as DB-API error classes."""
     try:
         yield
     except (SchemaError, ExpressionError, CatalogError) as exc:
         raise ProgrammingError(str(exc)) from exc
     except AccessError as exc:
         raise OperationalError(str(exc)) from exc
+    except sqlite3.Error as exc:
+        raise OperationalError(str(exc)) from exc
 
 
 class Cursor:
     """A DB-API cursor bound to its connection's schema version."""
-
-    arraysize = 1
 
     def __init__(self, connection: "Connection"):
         self._connection = connection
         self._closed = False
         self._result = StatementResult()
         self._cursor_index = 0
+        self.arraysize = 1
 
     # -- metadata ----------------------------------------------------------
 
@@ -151,20 +157,18 @@ class Cursor:
             # transaction. A journal kept across a migration would name
             # physical tables the swap may drop, making rollback a lie.
             connection.commit()
-            connection.engine._undo_log = None
+            connection._force_end_transactions()
             with _translated_errors():
                 connection.engine.execute(statement.text)
             return self
         if isinstance(statement, Select):
             with _translated_errors():
-                self._result = execute_statement(
-                    connection.engine, connection._version, statement, params
-                )
+                self._result = connection._execute_planned(statement, params)
+            connection.engine.workload.record_read(connection.version_name)
             return self
         with connection._write_scope(), _translated_errors():
-            self._result = execute_statement(
-                connection.engine, connection._version, statement, params
-            )
+            self._result = connection._execute_planned(statement, params)
+        connection.engine.workload.record_write(connection.version_name)
         return self
 
     def executemany(
@@ -172,10 +176,11 @@ class Cursor:
     ) -> "Cursor":
         """Execute a DML statement once per parameter row, atomically.
 
-        INSERTs are batched into a single change set (one propagation pass
-        through the version genealogy — the bulk-load fast path); UPDATE
-        and DELETE run row by row inside one atomic scope. Either way, an
-        error in the middle of the batch undoes the whole batch.
+        On the in-memory engine, INSERTs are batched into a single change
+        set (one propagation pass through the version genealogy — the
+        bulk-load fast path); everything else runs row by row inside one
+        atomic scope. Either way, an error in the middle of the batch
+        undoes the whole batch.
         """
         connection = self._check_open()
         self._result = StatementResult()
@@ -183,17 +188,26 @@ class Cursor:
         statement = parse_statement(operation)
         if isinstance(statement, (Select, BidelStatement)):
             raise ProgrammingError("executemany() only accepts DML statements")
-        if isinstance(statement, Insert):
-            return self._executemany_insert(connection, statement, seq_of_parameters)
+        seq_of_parameters = list(seq_of_parameters)
+        if isinstance(statement, Insert) and connection._backend is None:
+            cursor = self._executemany_insert(connection, statement, seq_of_parameters)
+            connection.engine.workload.record_write(
+                connection.version_name, len(seq_of_parameters)
+            )
+            return cursor
         total = 0
+        lastrowid: int | None = None
         with connection._write_scope(), _translated_errors():
             for parameters in seq_of_parameters:
                 params = _normalize_params(parameters, statement.param_count)
-                result = execute_statement(
-                    connection.engine, connection._version, statement, params
-                )
+                result = connection._execute_planned(statement, params)
                 total += max(result.rowcount, 0)
-        self._result = StatementResult(rowcount=total)
+                if result.lastrowid is not None:
+                    lastrowid = result.lastrowid
+        self._result = StatementResult(rowcount=total, lastrowid=lastrowid)
+        connection.engine.workload.record_write(
+            connection.version_name, len(seq_of_parameters)
+        )
         return self
 
     def _executemany_insert(
@@ -258,10 +272,18 @@ class Cursor:
 class Connection:
     """A DB-API connection to one co-existing schema version."""
 
-    def __init__(self, engine: "InVerDa", version: SchemaVersion, *, autocommit: bool = False):
+    def __init__(
+        self,
+        engine: "InVerDa",
+        version: SchemaVersion,
+        *,
+        autocommit: bool = False,
+        backend: "LiveSqliteBackend | None" = None,
+    ):
         self.engine = engine
         self._version = version
         self.autocommit = autocommit
+        self._backend = backend
         self._txn: _Transaction | None = None
         self._with_depth = 0
         self._closed = False
@@ -273,8 +295,39 @@ class Connection:
         return self._version.name
 
     @property
+    def backend_name(self) -> str:
+        return "memory" if self._backend is None else "sqlite"
+
+    @property
     def in_transaction(self) -> bool:
         return self._txn is not None
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _execute_planned(self, statement: SqlStatement, params: tuple) -> StatementResult:
+        if self._backend is None:
+            if self.engine.live_backend is not None:
+                # This connection predates the backend attach; its data
+                # plane is the dead in-memory snapshot. Refuse rather than
+                # silently diverge from the SQLite state.
+                raise InterfaceError(
+                    "connection was opened before a live execution backend "
+                    "was attached; reconnect with backend='sqlite'"
+                )
+            return execute_statement(self.engine, self._version, statement, params)
+        from repro.backend.planner import execute_statement_sqlite
+
+        return execute_statement_sqlite(self._backend, self._version, statement, params)
+
+    def _force_end_transactions(self) -> None:
+        """DDL implicitly commits every open transaction, including other
+        connections' (they will find their journal/savepoint gone)."""
+        if self._backend is None:
+            self.engine._undo_log = None
+            return
+        if self._backend.connection.in_transaction:
+            self._backend.connection.execute("COMMIT")
+            self._backend.transaction_epoch += 1
 
     def table_names(self) -> list[str]:
         return self._version.table_names()
@@ -317,6 +370,17 @@ class Connection:
     def _begin(self) -> None:
         if self._txn is not None:
             return
+        if self._backend is not None:
+            sconn = self._backend.connection
+            epoch = self._backend.transaction_epoch
+            if not sconn.in_transaction:
+                sconn.execute("BEGIN")
+                self._txn = _Transaction(journal=None, mark=epoch, owner=True)
+            else:
+                savepoint = f"txn_{next(_scope_counter)}"
+                sconn.execute(f"SAVEPOINT {savepoint}")
+                self._txn = _Transaction(journal=savepoint, mark=epoch, owner=False)
+            return
         log = self.engine._undo_log
         if log is None:
             log = []
@@ -330,6 +394,23 @@ class Connection:
         self._check_open()
         if self._txn is None:
             return
+        if self._backend is not None:
+            sconn = self._backend.connection
+            stale = self._backend.transaction_epoch != self._txn.mark
+            self._txn, txn = None, self._txn
+            if stale:
+                return  # the transaction this handle began in already ended
+            if txn.owner:
+                if sconn.in_transaction:
+                    with _translated_errors():
+                        sconn.execute("COMMIT")
+                self._backend.transaction_epoch += 1
+            else:
+                try:
+                    sconn.execute(f"RELEASE {txn.journal}")
+                except sqlite3.Error:
+                    pass  # the enclosing transaction already released it
+            return
         if self._txn.owner and self.engine._undo_log is self._txn.journal:
             self.engine._undo_log = None
         self._txn = None
@@ -339,6 +420,24 @@ class Connection:
         propagated effects in all other schema versions."""
         self._check_open()
         if self._txn is None:
+            return
+        if self._backend is not None:
+            sconn = self._backend.connection
+            stale = self._backend.transaction_epoch != self._txn.mark
+            self._txn, txn = None, self._txn
+            if stale:
+                return  # the transaction this handle began in already ended
+            if txn.owner:
+                if sconn.in_transaction:
+                    with _translated_errors():
+                        sconn.execute("ROLLBACK")
+                self._backend.transaction_epoch += 1
+            else:
+                try:
+                    sconn.execute(f"ROLLBACK TO {txn.journal}")
+                    sconn.execute(f"RELEASE {txn.journal}")
+                except sqlite3.Error:
+                    pass  # the enclosing transaction already released it
             return
         # Only touch the journal this transaction actually wrote into. If
         # it is gone (the owning connection committed or rolled back), the
@@ -360,6 +459,30 @@ class Connection:
         self._check_open()
         if not self.autocommit:
             self._begin()
+        if self._backend is not None:
+            sconn = self._backend.connection
+            if self.autocommit and self._txn is None and sconn.in_transaction:
+                # The memory backend self-commits such a write by dropping
+                # its undo entries; one SQLite connection cannot commit a
+                # statement inside another connection's open transaction,
+                # so refuse loudly instead of letting a foreign rollback
+                # silently erase a supposedly autocommitted write.
+                raise OperationalError(
+                    "autocommit write while another connection's transaction "
+                    "is open on the SQLite backend; commit or roll back that "
+                    "transaction first"
+                )
+            savepoint = f"stmt_{next(_scope_counter)}"
+            sconn.execute(f"SAVEPOINT {savepoint}")
+            try:
+                yield
+            except BaseException:
+                sconn.execute(f"ROLLBACK TO {savepoint}")
+                sconn.execute(f"RELEASE {savepoint}")
+                raise
+            else:
+                sconn.execute(f"RELEASE {savepoint}")
+            return
         engine = self.engine
         if engine._undo_log is None:
             engine._undo_log = []
@@ -401,14 +524,46 @@ class Connection:
         return False
 
 
+def _resolve_backend(engine: "InVerDa", backend) -> "LiveSqliteBackend | None":
+    from repro.backend.sqlite import LiveSqliteBackend
+
+    if backend is None:
+        return engine.live_backend
+    if isinstance(backend, LiveSqliteBackend):
+        return backend
+    if backend == "memory":
+        if engine.live_backend is not None:
+            raise InterfaceError(
+                "engine has a live execution backend attached; its in-memory "
+                "tables are a stale snapshot — connect with backend='sqlite'"
+            )
+        return None
+    if backend == "sqlite":
+        live = engine.live_backend
+        if live is not None:
+            return live
+        return LiveSqliteBackend.attach(engine)
+    raise InterfaceError(f"unknown backend {backend!r}; use 'memory' or 'sqlite'")
+
+
 def connect(
-    engine: "InVerDa", version: str | None = None, *, autocommit: bool = False
+    engine: "InVerDa",
+    version: str | None = None,
+    *,
+    autocommit: bool = False,
+    backend: str | None = None,
 ) -> Connection:
     """Open a DB-API connection to ``version`` of ``engine``.
 
     ``version`` may be omitted when exactly one schema version is active.
     With ``autocommit=True`` every statement commits itself; explicit
     transaction scopes are still available via ``with conn:``.
+
+    ``backend`` selects the execution engine: ``"memory"`` plans
+    statements onto the pure-Python engine, ``"sqlite"`` executes them on
+    the live SQLite backend (attaching one on first use) where generated
+    views and INSTEAD OF triggers serve reads and writes inside SQLite.
+    The default is the engine's attached backend, if any, else memory.
     """
     if version is None:
         names = engine.version_names()
@@ -422,4 +577,5 @@ def connect(
         schema_version = engine.genealogy.schema_version(version)
     except CatalogError as exc:
         raise InterfaceError(str(exc)) from exc
-    return Connection(engine, schema_version, autocommit=autocommit)
+    resolved = _resolve_backend(engine, backend)
+    return Connection(engine, schema_version, autocommit=autocommit, backend=resolved)

@@ -39,7 +39,7 @@ def _role_tables(smo: SmoInstance) -> tuple[dict[str, str], dict[str, tuple[str,
 
 
 def _object_name(tv: TableVersion) -> str:
-    return f"v{tv.uid}_{tv.name}"
+    return tv.view_name
 
 
 @dataclass

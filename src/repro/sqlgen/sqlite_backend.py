@@ -1,179 +1,41 @@
-"""Execute generated delta code on a real DBMS query engine (SQLite).
+"""Deprecated shim: the read-parity SQLite backend of early revisions.
 
-The paper's prototype generates views and triggers inside PostgreSQL so
-that "database applications use the DBMS's standard query engine". This
-backend reproduces the read half of that claim with the standard library's
-SQLite: physical tables and auxiliary tables are loaded 1:1, the generated
-``CREATE VIEW`` statements are installed, and reads of any table version go
-through SQLite's query engine. The test suite checks that SQLite returns
-exactly the rows the pure-Python engine derives.
+:class:`SqliteBackend` predates the live execution backend; it snapshotted
+the engine's storage and installed read-only views.  The real execution
+path now lives in :mod:`repro.backend` — generated views *and* INSTEAD OF
+trigger programs serving reads and writes on every co-existing version.
+This shim keeps the old constructor and query helpers working on top of
+:class:`repro.backend.sqlite.LiveSqliteBackend` without attaching to the
+engine (the engine's in-memory tables remain the data plane).
 """
 
 from __future__ import annotations
 
 import sqlite3
-from dataclasses import dataclass
 
-from repro.catalog.genealogy import TableVersion
+from repro.backend.sqlite import LiveSqliteBackend
 from repro.core.engine import InVerDa
-from repro.errors import BackendError
-from repro.sqlgen.scripts import _object_name, _role_tables
-from repro.sqlgen.views import view_sql_for_rules
-from repro.util.naming import quote_identifier
 
 
-@dataclass
-class SqliteBackend:
-    engine: InVerDa
-    connection: sqlite3.Connection
+class SqliteBackend(LiveSqliteBackend):
+    """A standalone snapshot backend (not registered with the engine).
+
+    .. deprecated:: prefer ``repro.connect(engine, version=...,
+       backend="sqlite")``, which attaches a live backend.
+    """
 
     @classmethod
     def build(cls, engine: InVerDa) -> "SqliteBackend":
-        """Snapshot the engine's physical storage into SQLite and install
-        generated views for every derived table version."""
         connection = sqlite3.connect(":memory:")
-        backend = cls(engine=engine, connection=connection)
-        backend._load_physical()
-        backend._install_views()
+        connection.isolation_level = None
+        backend = cls(engine, connection)
+        backend._load_snapshot()
+        backend.regenerate()
+        backend._run_repairs()
         return backend
 
-    def _load_physical(self) -> None:
-        cursor = self.connection.cursor()
-        for name, table in self.engine.database.tables.items():
-            columns = ["p"] + [quote_identifier(c) for c in table.schema.column_names]
-            cursor.execute(f"CREATE TABLE {name} ({', '.join(columns)})")
-            placeholders = ", ".join("?" for _ in columns)
-            cursor.executemany(
-                f"INSERT INTO {name} VALUES ({placeholders})",
-                [(key, *row) for key, row in table],
-            )
+    def _run_repairs(self) -> None:
+        from repro.backend import codegen
+
+        self._run(codegen.repair_all_statements(self.engine))
         self.connection.commit()
-
-    def _install_views(self) -> None:
-        cursor = self.connection.cursor()
-        installed: set[int] = set()
-
-        def install(tv: TableVersion) -> None:
-            if tv.uid in installed:
-                return
-            installed.add(tv.uid)
-            if self.engine._is_physical(tv):
-                columns = ["p"] + [quote_identifier(c) for c in tv.schema.column_names]
-                cursor.execute(
-                    f"CREATE VIEW {_object_name(tv)} AS "
-                    f"SELECT {', '.join(columns)} FROM {tv.data_table_name}"
-                )
-                return
-            forward = self.engine._forward_smo(tv)
-            if forward is not None:
-                smo = forward
-                rules = smo.semantics.gamma_src_rules()
-                role = smo.semantics.source_roles[smo.sources.index(tv)]
-                neighbors = smo.targets
-            else:
-                smo = tv.incoming
-                if smo is None or smo.is_initial:
-                    raise BackendError(f"no route for {tv!r}")
-                rules = smo.semantics.gamma_tgt_rules()
-                role = smo.semantics.target_roles[smo.targets.index(tv)]
-                neighbors = smo.sources
-            for neighbor in neighbors:
-                install(neighbor)
-            if rules is None:
-                self._install_custom_view(cursor, tv)
-                return
-            names, columns = _role_tables(smo)
-            cursor.execute(
-                view_sql_for_rules(
-                    _object_name(tv),
-                    role,
-                    rules,
-                    table_names=names,
-                    table_columns=columns,
-                    head_columns=tv.schema.column_names,
-                ).rstrip(";")
-            )
-
-        for version in self.engine.genealogy.active_versions():
-            for tv in version.tables.values():
-                install(tv)
-        self.connection.commit()
-
-    def _install_custom_view(self, cursor: sqlite3.Cursor, tv: TableVersion) -> None:
-        """Custom SQL for the FK-decompose targets (their generic rules use
-        identifier generation, but reads only need the stored ID table)."""
-        from repro.bidel.smo.foreign_key import DecomposeFkSemantics
-
-        smo = tv.incoming if (tv.incoming and not tv.incoming.is_initial) else None
-        forward = self.engine._forward_smo(tv)
-        if forward is not None and isinstance(forward.semantics, DecomposeFkSemantics):
-            # Reading the wide source R of a materialized FK decompose.
-            semantics = forward.semantics
-            s_tv, t_tv = forward.targets
-            s_name, t_name = _object_name(s_tv), _object_name(t_tv)
-            a_cols = list(semantics.node.first_columns)
-            b_cols = list(semantics.node.second_columns)
-            select_cols = []
-            for column in tv.schema.column_names:
-                if column in a_cols:
-                    select_cols.append(f"s.{quote_identifier(column)}")
-                else:
-                    select_cols.append(f"t.{quote_identifier(column)}")
-            fk = semantics.node.kind.fk_column or "fk"
-            cursor.execute(
-                f"CREATE VIEW {_object_name(tv)} AS "
-                f"SELECT s.p AS p, {', '.join(select_cols)} "
-                f"FROM {s_name} s LEFT JOIN {t_name} t ON t.id = s.{fk} "
-                f"UNION "
-                f"SELECT t.id AS p, {', '.join('NULL' if c in a_cols else 't.' + quote_identifier(c) for c in tv.schema.column_names)} "
-                f"FROM {t_name} t WHERE NOT EXISTS "
-                f"(SELECT 1 FROM {s_name} s WHERE s.{fk} = t.id)"
-            )
-            return
-        if smo is not None and isinstance(smo.semantics, DecomposeFkSemantics):
-            # Reading S or T of a virtualized FK decompose: join R with ID.
-            semantics = smo.semantics
-            source = smo.sources[0]
-            r_name = _object_name(source)
-            id_table = smo.aux_table_name("ID")
-            if tv is smo.targets[0]:  # S: A columns + fk
-                a_cols = ", ".join(
-                    f"r.{quote_identifier(c)}" for c in semantics.node.first_columns
-                )
-                cursor.execute(
-                    f"CREATE VIEW {_object_name(tv)} AS "
-                    f"SELECT r.p AS p, {a_cols}, i.fk AS "
-                    f"{quote_identifier(semantics.node.kind.fk_column or 'fk')} "
-                    f"FROM {r_name} r JOIN {id_table} i ON i.p = r.p"
-                )
-            else:  # T: id + B columns, deduplicated by id
-                b_cols = ", ".join(
-                    f"r.{quote_identifier(c)}" for c in semantics.node.second_columns
-                )
-                cursor.execute(
-                    f"CREATE VIEW {_object_name(tv)} AS "
-                    f"SELECT DISTINCT i.fk AS p, i.fk AS id, {b_cols} "
-                    f"FROM {r_name} r JOIN {id_table} i ON i.p = r.p "
-                    f"WHERE i.fk IS NOT NULL"
-                )
-            return
-        raise BackendError(f"no SQL template for table version {tv!r}")
-
-    # -- queries ---------------------------------------------------------------
-
-    def select(self, version_name: str, table: str) -> list[tuple]:
-        tv = self.engine.genealogy.schema_version(version_name).table_version(table)
-        columns = ", ".join(quote_identifier(c) for c in tv.schema.column_names)
-        cursor = self.connection.execute(
-            f"SELECT {columns} FROM {_object_name(tv)}"
-        )
-        return cursor.fetchall()
-
-    def select_keyed(self, version_name: str, table: str) -> dict[int, tuple]:
-        tv = self.engine.genealogy.schema_version(version_name).table_version(table)
-        columns = ", ".join(["p"] + [quote_identifier(c) for c in tv.schema.column_names])
-        cursor = self.connection.execute(f"SELECT {columns} FROM {_object_name(tv)}")
-        return {row[0]: row[1:] for row in cursor.fetchall()}
-
-    def close(self) -> None:
-        self.connection.close()

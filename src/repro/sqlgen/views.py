@@ -108,7 +108,9 @@ class _Subquery:
             rendered = cond.expression.to_sql()
             for column, term in cond.columns:
                 rendered = _replace_column(rendered, column, self._term_sql(term))
-            self.where.append(rendered if cond.positive else f"NOT ({rendered})")
+            # The engine's is_true() treats NULL as not-satisfied, so the
+            # negated literal must hold for NULL conditions: IS NOT TRUE.
+            self.where.append(rendered if cond.positive else f"({rendered}) IS NOT TRUE")
 
         for compare in compares:
             pairs = [
@@ -170,6 +172,26 @@ def _replace_column(sql: str, column: str, replacement: str) -> str:
     return re.sub(rf"\b{re.escape(column)}\b", replacement, sql)
 
 
+def select_sql_for_rules(
+    head_pred: str,
+    rules: RuleSet,
+    *,
+    table_names: Mapping[str, str],
+    table_columns: Mapping[str, tuple[str, ...]],
+    head_columns: tuple[str, ...],
+) -> str:
+    """A bare ``SELECT`` (UNION of one subquery per rule) deriving
+    ``head_pred``; shared by view creation and generated put programs."""
+    subqueries = []
+    for rule in rules.rules_for(head_pred):
+        subqueries.append(
+            _Subquery(rule, table_names, table_columns, head_columns).build()
+        )
+    if not subqueries:
+        raise BackendError(f"no rules derive {head_pred!r}")
+    return "\nUNION\n".join(subqueries)
+
+
 def view_sql_for_rules(
     view_name: str,
     head_pred: str,
@@ -180,12 +202,11 @@ def view_sql_for_rules(
     head_columns: tuple[str, ...],
 ) -> str:
     """``CREATE VIEW`` implementing every rule with head ``head_pred``."""
-    subqueries = []
-    for rule in rules.rules_for(head_pred):
-        subqueries.append(
-            _Subquery(rule, table_names, table_columns, head_columns).build()
-        )
-    if not subqueries:
-        raise BackendError(f"no rules derive {head_pred!r}")
-    body = "\nUNION\n".join(subqueries)
+    body = select_sql_for_rules(
+        head_pred,
+        rules,
+        table_names=table_names,
+        table_columns=table_columns,
+        head_columns=head_columns,
+    )
     return f"CREATE VIEW {view_name} AS\n{body};"

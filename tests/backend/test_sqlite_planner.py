@@ -1,0 +1,289 @@
+"""The SQL layer on the live backend: pushdown, DB-API surface parity with
+the in-memory planner, and SQLite-mapped transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.core.engine import InVerDa
+from repro.errors import InterfaceError, OperationalError, ProgrammingError
+from repro.sql.connection import connect
+
+
+def _engine():
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE Item(name TEXT, qty INTEGER, tag TEXT);"
+    )
+    return engine
+
+
+ROWS = [
+    ("apple", 5, "fruit"),
+    ("banana", 2, "fruit"),
+    ("carrot", 9, None),
+    ("daikon", 2, "veg"),
+]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def conn(request):
+    engine = _engine()
+    connection = connect(engine, "v1", autocommit=True, backend=request.param)
+    connection.executemany("INSERT INTO Item(name, qty, tag) VALUES (?, ?, ?)", ROWS)
+    return connection
+
+
+class TestSelectPushdown:
+    def test_where_in_list(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM Item WHERE qty IN (2, 9) ORDER BY name"
+        ).fetchall()
+        assert rows == [("banana",), ("carrot",), ("daikon",)]
+
+    def test_where_in_params(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM Item WHERE name IN (?, ?) ORDER BY name", ("apple", "daikon")
+        ).fetchall()
+        assert rows == [("apple",), ("daikon",)]
+
+    def test_is_null_and_is_not_null(self, conn):
+        assert conn.execute(
+            "SELECT name FROM Item WHERE tag IS NULL"
+        ).fetchall() == [("carrot",)]
+        assert len(conn.execute("SELECT name FROM Item WHERE tag IS NOT NULL").fetchall()) == 3
+
+    def test_not_in_with_null_semantics(self, conn):
+        # NULL tag is neither in nor not-in the list (three-valued logic).
+        rows = conn.execute(
+            "SELECT name FROM Item WHERE tag NOT IN ('veg') ORDER BY name"
+        ).fetchall()
+        assert rows == [("apple",), ("banana",)]
+
+    def test_like(self, conn):
+        rows = conn.execute("SELECT name FROM Item WHERE name LIKE '%an%' ORDER BY name").fetchall()
+        assert rows == [("banana",)]
+
+    def test_order_by_nulls_last_desc(self, conn):
+        rows = conn.execute("SELECT tag FROM Item ORDER BY tag DESC, name ASC").fetchall()
+        assert rows == [("veg",), ("fruit",), ("fruit",), (None,)]
+
+    def test_limit_offset(self, conn):
+        rows = conn.execute(
+            "SELECT name FROM Item ORDER BY name LIMIT 2 OFFSET 1"
+        ).fetchall()
+        assert rows == [("banana",), ("carrot",)]
+
+    def test_computed_projection(self, conn):
+        rows = conn.execute(
+            "SELECT name, qty * 2 AS double FROM Item WHERE name = 'apple'"
+        ).fetchall()
+        assert rows == [("apple", 10)]
+
+    def test_rowid_projection_and_filter(self, conn):
+        first = conn.execute("SELECT rowid, name FROM Item ORDER BY rowid").fetchone()
+        assert isinstance(first[0], int)
+        again = conn.execute(
+            "SELECT name FROM Item WHERE rowid = ?", (first[0],)
+        ).fetchall()
+        assert again == [(first[1],)]
+
+    def test_unknown_column_raises(self, conn):
+        with pytest.raises(ProgrammingError):
+            conn.execute("SELECT nope FROM Item")
+
+
+class TestDescription:
+    def test_description_populated(self, conn):
+        cursor = conn.execute("SELECT name, qty FROM Item")
+        names = [entry[0] for entry in cursor.description]
+        assert names == ["name", "qty"]
+
+    def test_description_select_star(self, conn):
+        cursor = conn.execute("SELECT * FROM Item")
+        assert [e[0] for e in cursor.description] == ["name", "qty", "tag"]
+
+    def test_description_matches_across_backends(self):
+        results = []
+        for backend in ("memory", "sqlite"):
+            engine = _engine()
+            connection = connect(engine, "v1", autocommit=True, backend=backend)
+            cursor = connection.execute("SELECT name AS n, qty + 1 FROM Item")
+            results.append(cursor.description)
+        assert results[0] == results[1]
+
+
+class TestDmlParity:
+    def test_update_rowcount(self, conn):
+        cursor = conn.execute("UPDATE Item SET qty = qty + 1 WHERE tag = 'fruit'")
+        assert cursor.rowcount == 2
+        assert conn.execute("SELECT qty FROM Item WHERE name = 'apple'").fetchone() == (6,)
+
+    def test_delete_rowcount(self, conn):
+        assert conn.execute("DELETE FROM Item WHERE qty = 2").rowcount == 2
+        assert conn.execute("SELECT name FROM Item").rowcount == 2
+
+    def test_insert_lastrowid(self, conn):
+        cursor = conn.execute("INSERT INTO Item(name, qty, tag) VALUES ('egg', 1, NULL)")
+        assert cursor.rowcount == 1
+        assert isinstance(cursor.lastrowid, int)
+
+    def test_executemany_and_fetchmany(self, conn):
+        cursor = conn.cursor()
+        cursor.executemany(
+            "INSERT INTO Item(name, qty, tag) VALUES (?, ?, ?)",
+            [("e1", 1, None), ("e2", 2, None), ("e3", 3, None)],
+        )
+        assert cursor.rowcount == 3
+        select = conn.execute("SELECT name FROM Item ORDER BY name")
+        select.arraysize = 2
+        assert len(select.fetchmany()) == 2
+        assert len(select.fetchmany(4)) == 4
+        assert select.fetchmany(100) == [("e3",)]
+
+    def test_arraysize_is_per_cursor(self, conn):
+        a, b = conn.cursor(), conn.cursor()
+        a.arraysize = 5
+        assert b.arraysize == 1
+
+    def test_key_column_update_rejected_on_fk_table(self):
+        for backend in ("memory", "sqlite"):
+            engine = _engine()
+            connection = connect(engine, "v1", autocommit=True, backend=backend)
+            connection.executemany(
+                "INSERT INTO Item(name, qty, tag) VALUES (?, ?, ?)", ROWS
+            )
+            engine.execute(
+                "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+                "DECOMPOSE TABLE Item INTO Item(name, qty), Tag(tag) ON FK tid;"
+            )
+            v2 = connect(engine, "v2", autocommit=True, backend=backend)
+            with pytest.raises((OperationalError, ProgrammingError)):
+                v2.execute("UPDATE Tag SET id = 99")
+
+
+class TestSqliteTransactions:
+    def test_commit_and_rollback(self):
+        engine = _engine()
+        conn = connect(engine, "v1", backend="sqlite")
+        conn.execute("INSERT INTO Item(name, qty, tag) VALUES ('x', 1, NULL)")
+        conn.rollback()
+        assert conn.execute("SELECT * FROM Item").rowcount == 0
+        conn.execute("INSERT INTO Item(name, qty, tag) VALUES ('y', 1, NULL)")
+        conn.commit()
+        assert conn.execute("SELECT name FROM Item").fetchall() == [("y",)]
+
+    def test_rollback_undoes_propagated_effects(self):
+        engine = _engine()
+        engine.execute(
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH RENAME TABLE Item INTO Ware;"
+        )
+        backend = LiveSqliteBackend.attach(engine)
+        v1 = connect(engine, "v1", backend=backend)
+        v2 = connect(engine, "v2", autocommit=True, backend=backend)
+        v1.execute("INSERT INTO Item(name, qty, tag) VALUES ('temp', 1, NULL)")
+        assert v2.execute("SELECT * FROM Ware").rowcount == 1
+        v1.rollback()
+        assert v2.execute("SELECT * FROM Ware").rowcount == 0
+
+    def test_with_block_commits_and_aborts(self):
+        engine = _engine()
+        conn = connect(engine, "v1", backend="sqlite")
+        with conn:
+            conn.execute("INSERT INTO Item(name, qty, tag) VALUES ('kept', 1, NULL)")
+        with pytest.raises(RuntimeError):
+            with conn:
+                conn.execute("INSERT INTO Item(name, qty, tag) VALUES ('gone', 1, NULL)")
+                raise RuntimeError("abort")
+        names = [row[0] for row in conn.execute("SELECT name FROM Item").fetchall()]
+        assert names == ["kept"]
+
+    def test_update_with_set_params_and_literal_where(self):
+        # The matched-count probe re-renders only the WHERE clause; the
+        # binding count must follow the rendered SQL, not the statement.
+        engine = _engine()
+        conn = connect(engine, "v1", autocommit=True, backend="sqlite")
+        conn.executemany("INSERT INTO Item(name, qty, tag) VALUES (?, ?, ?)", ROWS)
+        cursor = conn.execute("UPDATE Item SET qty = ? WHERE name = 'apple'", (77,))
+        assert cursor.rowcount == 1
+        assert conn.execute("UPDATE Item SET qty = ? WHERE name = 'nobody'", (1,)).rowcount == 0
+        assert conn.execute("DELETE FROM Item WHERE qty = 77").rowcount == 1
+
+    def test_autocommit_write_inside_foreign_transaction_refused(self):
+        # One SQLite connection cannot commit a statement inside another
+        # connection's transaction; refusing beats silent erasure.
+        engine = _engine()
+        a = connect(engine, "v1", backend="sqlite")
+        b = connect(engine, "v1", autocommit=True, backend="sqlite")
+        a.execute("INSERT INTO Item(name, qty, tag) VALUES ('a', 1, NULL)")
+        with pytest.raises(OperationalError):
+            b.execute("INSERT INTO Item(name, qty, tag) VALUES ('b', 1, NULL)")
+        a.rollback()
+        b.execute("INSERT INTO Item(name, qty, tag) VALUES ('b', 1, NULL)")
+        assert b.execute("SELECT name FROM Item").fetchall() == [("b",)]
+
+    def test_statement_atomicity_mid_batch(self):
+        engine = _engine()
+        conn = connect(engine, "v1", autocommit=True, backend="sqlite")
+        with pytest.raises(Exception):
+            conn.executemany(
+                "INSERT INTO Item(name, qty, tag) VALUES (?, ?, ?)",
+                [("ok", 1, None), ("bad", 2)],  # wrong arity fails mid-batch
+            )
+        assert conn.execute("SELECT * FROM Item").rowcount == 0
+
+
+    def test_stale_owner_cannot_clobber_newer_transaction(self):
+        # DDL force-commits A's transaction; A's later rollback must not
+        # touch the transaction C opened afterwards.
+        engine = _engine()
+        a = connect(engine, "v1", backend="sqlite")
+        a.execute("INSERT INTO Item(name, qty, tag) VALUES ('a', 1, NULL)")
+        connect(engine, "v1", autocommit=True, backend="sqlite").execute(
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH RENAME TABLE Item INTO Ware;"
+        )
+        c = connect(engine, "v2", backend="sqlite")
+        c.execute("INSERT INTO Ware(name, qty, tag) VALUES ('c', 1, NULL)")
+        a.rollback()  # stale: its transaction already ended with the DDL
+        c.commit()
+        names = sorted(
+            row[0] for row in c.execute("SELECT name FROM Ware").fetchall()
+        )
+        assert names == ["a", "c"]
+
+
+class TestBackendSelection:
+    def test_memory_refused_once_backend_attached(self):
+        engine = _engine()
+        LiveSqliteBackend.attach(engine)
+        with pytest.raises(InterfaceError):
+            connect(engine, "v1", backend="memory")
+
+    def test_preattach_memory_connection_refused_after_attach(self):
+        # A connection opened before the attach would read/write the dead
+        # in-memory snapshot; it must refuse instead of silently diverging.
+        engine = _engine()
+        stale = connect(engine, "v1", autocommit=True)
+        LiveSqliteBackend.attach(engine)
+        with pytest.raises(InterfaceError):
+            stale.execute("SELECT * FROM Item")
+        with pytest.raises(InterfaceError):
+            stale.execute("INSERT INTO Item(name, qty, tag) VALUES ('x', 1, NULL)")
+
+    def test_default_uses_attached_backend(self):
+        engine = _engine()
+        LiveSqliteBackend.attach(engine)
+        conn = connect(engine, "v1")
+        assert conn.backend_name == "sqlite"
+
+    def test_backend_sqlite_attaches_lazily(self):
+        engine = _engine()
+        assert engine.live_backend is None
+        conn = connect(engine, "v1", backend="sqlite")
+        assert engine.live_backend is not None
+        assert conn.backend_name == "sqlite"
+
+    def test_unknown_backend(self):
+        with pytest.raises(InterfaceError):
+            connect(_engine(), "v1", backend="duckdb")

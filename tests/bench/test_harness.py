@@ -51,7 +51,14 @@ class TestExperimentSmoke:
 
     def test_fig8(self):
         result = get_experiment("fig8").run(num_tasks=200, writes=5, repeat=1)
-        assert len(result.rows) == 16
+        # 2 materializations x (2 reads + 2 writes) x 3 implementations.
+        assert len(result.rows) == 24
+        implementations = {row[1] for row in result.rows}
+        assert implementations == {
+            "BiDEL (memory)",
+            "BiDEL (SQLite)",
+            "SQL (handwritten)",
+        }
 
     def test_fig9(self):
         result = get_experiment("fig9").run(num_tasks=100, slices=3, ops_per_slice=3)

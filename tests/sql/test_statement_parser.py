@@ -124,6 +124,38 @@ class TestBidelPassthrough:
             parse_statement("DROP TABLE T")
 
 
+class TestPredicateForms:
+    """IN (...) lists and IS [NOT] NULL in WHERE — the common client
+    predicates — parse and interact correctly with the other clauses."""
+
+    def test_in_list_then_order_by(self):
+        stmt = parse_statement(
+            "SELECT * FROM T WHERE a IN (1, 2, 3) ORDER BY a DESC LIMIT 2"
+        )
+        assert stmt.where.evaluate({"a": 2}) is True
+        assert stmt.where.evaluate({"a": 9}) is False
+        assert stmt.order_by[0].descending
+        assert stmt.limit is not None
+
+    def test_not_in_list(self):
+        stmt = parse_statement("SELECT * FROM T WHERE a NOT IN (1, 2)")
+        assert stmt.where.evaluate({"a": 3}) is True
+        assert stmt.where.evaluate({"a": 1}) is False
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_statement(
+            "SELECT * FROM T WHERE a IS NULL AND b IS NOT NULL"
+        )
+        assert stmt.where.evaluate({"a": None, "b": 1}) is True
+        assert stmt.where.evaluate({"a": 1, "b": 1}) is False
+
+    def test_is_null_in_update_and_delete(self):
+        update = parse_statement("UPDATE T SET a = 0 WHERE a IS NULL")
+        assert update.where.evaluate({"a": None}) is True
+        delete = parse_statement("DELETE FROM T WHERE b IN (?, ?)")
+        assert delete.param_count == 2
+
+
 class TestParameterBinding:
     def test_bind_expression_substitutes_literals(self):
         stmt = parse_statement("SELECT * FROM T WHERE a = ? AND b IN (?, ?)")

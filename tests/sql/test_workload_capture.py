@@ -1,0 +1,71 @@
+"""Workload capture: cursors feed per-version access counters, and the
+materialization advisor runs off the recorded live traffic."""
+
+from __future__ import annotations
+
+from repro.core.advisor import recommend_from_live, recommend_materialization
+from repro.sql.connection import connect
+from repro.workloads.tasky import build_tasky
+
+
+def test_cursors_record_reads_and_writes():
+    scenario = build_tasky(10)
+    engine = scenario.engine
+    engine.workload.reset()
+    tasky = connect(engine, "TasKy", autocommit=True)
+    do = connect(engine, "Do!", autocommit=True)
+    tasky.execute("SELECT * FROM Task")
+    tasky.execute("SELECT * FROM Task WHERE prio = 1")
+    do.execute("SELECT * FROM Todo")
+    tasky.execute("INSERT INTO Task(author, task, prio) VALUES ('A', 'x', 1)")
+    assert engine.workload.reads == {"TasKy": 2, "Do!": 1}
+    assert engine.workload.writes == {"TasKy": 1}
+
+
+def test_executemany_counts_each_row():
+    scenario = build_tasky(0)
+    engine = scenario.engine
+    engine.workload.reset()
+    conn = connect(engine, "TasKy", autocommit=True)
+    conn.executemany(
+        "INSERT INTO Task(author, task, prio) VALUES (?, ?, ?)",
+        [("a", "t1", 1), ("b", "t2", 2), ("c", "t3", 3)],
+    )
+    assert engine.workload.writes == {"TasKy": 3}
+
+
+def test_sqlite_backend_records_too():
+    scenario = build_tasky(5)
+    engine = scenario.engine
+    engine.workload.reset()
+    conn = connect(engine, "TasKy2", autocommit=True, backend="sqlite")
+    conn.execute("SELECT * FROM Author")
+    conn.execute("DELETE FROM Task WHERE prio = 99")
+    assert engine.workload.reads == {"TasKy2": 1}
+    assert engine.workload.writes == {"TasKy2": 1}
+
+
+def test_advisor_runs_off_live_traffic():
+    scenario = build_tasky(30)
+    engine = scenario.engine
+    engine.workload.reset()
+    do = connect(engine, "Do!", autocommit=True)
+    for _ in range(50):
+        do.execute("SELECT * FROM Todo")
+    recommendation = recommend_from_live(engine)
+    # A Do!-dominated workload recommends materializing toward Do!.
+    assert "Todo" in recommendation.physical_tables
+    # The live recommendation equals the one from the explicit profile.
+    explicit = recommend_materialization(engine.genealogy, engine.workload.profile())
+    assert explicit.schema == recommendation.schema
+
+
+def test_recorder_reset_and_empty():
+    scenario = build_tasky(1)
+    engine = scenario.engine
+    engine.workload.reset()
+    assert engine.workload.empty
+    connect(engine, "TasKy", autocommit=True).execute("SELECT * FROM Task")
+    assert not engine.workload.empty
+    profile = engine.workload.profile()
+    assert profile.reads == {"TasKy": 1.0}
