@@ -1,0 +1,124 @@
+"""Figure 14 (extension): concurrent multi-session throughput on the
+file-backed WAL backend (timed unit: one batch of concurrent read
+sessions at each thread count).
+
+Runnable two ways:
+
+- ``pytest benchmarks/bench_fig14_concurrency.py`` — pytest-benchmark
+  wrappers timing a fixed concurrent batch;
+- ``python benchmarks/bench_fig14_concurrency.py [--smoke]`` — print the
+  full throughput-vs-sessions table (``--smoke`` shrinks the workload for
+  CI and asserts that concurrent read throughput actually scales).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - CLI use without pytest installed
+    pytest = None
+
+from repro.bench.harness import get_experiment
+
+N = 2000
+OPS = 100
+
+
+def _concurrent_reads(scenario, backend, threads):
+    from repro.bench.experiments.fig14 import _run_workload
+
+    return _run_workload(
+        scenario.engine, backend, threads=threads, ops=OPS, write_every=None
+    )
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def wal_backend(tmp_path_factory):
+        from repro.backend.sqlite import LiveSqliteBackend
+        from repro.workloads.tasky import build_tasky
+
+        scenario = build_tasky(N)
+        backend = LiveSqliteBackend.attach(
+            scenario.engine,
+            database=str(tmp_path_factory.mktemp("fig14") / "tasky.db"),
+            pool_size=16,
+        )
+        yield scenario, backend
+        backend.close()
+
+    def test_fig14_reads_1_session(benchmark, wal_backend):
+        scenario, backend = wal_backend
+        benchmark(lambda: _concurrent_reads(scenario, backend, 1))
+
+    def test_fig14_reads_4_sessions(benchmark, wal_backend):
+        scenario, backend = wal_backend
+        benchmark(lambda: _concurrent_reads(scenario, backend, 4))
+
+    def test_fig14_mixed_4_sessions(benchmark, wal_backend):
+        from repro.bench.experiments.fig14 import _run_workload
+
+        scenario, backend = wal_backend
+        benchmark(
+            lambda: _run_workload(
+                scenario.engine, backend, threads=4, ops=OPS, write_every=10
+            )
+        )
+
+    def test_fig14_rows(print_result):
+        print_result(
+            get_experiment("fig14").run(num_tasks=N, ops=60, thread_counts=(1, 2, 4))
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent multi-session throughput (fig14)."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI workload; asserts read throughput scales with sessions",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # Large enough rows that each read is dominated by SQLite's query
+        # engine (which releases the GIL), small enough op counts for CI.
+        result = get_experiment("fig14").run(
+            num_tasks=10_000, ops=80, thread_counts=(1, 4)
+        )
+    else:
+        result = get_experiment("fig14").run()
+    print(result.format())
+    if args.smoke:
+        by_key = {(row[0], row[1]): row for row in result.rows}
+        speedup = by_key[("read", 4)][5]
+        cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+            os.cpu_count() or 1
+        )
+        # WAL readers must not serialize: aggregate throughput of 4
+        # concurrent sessions has to track the hardware.  With several
+        # cores that means real speedup; on a 1-core box speedup > 1 is
+        # physically impossible, so the floor only rules out lock-induced
+        # collapse (sessions queueing behind one another).
+        expected = min(cores, 4)
+        floor = 0.6 * expected
+        print(
+            f"\nread speedup at 4 sessions: {speedup:.2f}x "
+            f"({cores} core(s), floor {floor:.2f}x)"
+        )
+        assert speedup > floor, (
+            f"concurrent reads serialized: {speedup:.2f}x aggregate "
+            f"throughput at 4 sessions on {cores} core(s)"
+        )
+        print("smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,13 +15,18 @@ package is that execution path for SQLite:
   physical tables, installs the generated objects, regenerates them on
   evolution, and executes ``MATERIALIZE`` as an in-place SQL migration;
 - :mod:`repro.backend.planner` lowers DB-API statements onto backend SQL
-  with WHERE/ORDER BY/LIMIT pushdown.
+  with WHERE/ORDER BY/LIMIT pushdown;
+- :mod:`repro.backend.pool` leases every SQL-layer connection its own
+  ``sqlite3`` session over the one shared database (WAL for file-backed
+  databases, shared-cache for in-memory ones), so concurrent clients of
+  different schema versions run real, independent transactions.
 
 ``repro.connect(engine, version=..., backend="sqlite")`` is the public
 entry point.
 """
 
 from repro.backend.base import ExecutionBackend
-from repro.backend.sqlite import LiveSqliteBackend
+from repro.backend.pool import SessionPool
+from repro.backend.sqlite import LiveSqliteBackend, SqliteSession
 
-__all__ = ["ExecutionBackend", "LiveSqliteBackend"]
+__all__ = ["ExecutionBackend", "LiveSqliteBackend", "SessionPool", "SqliteSession"]

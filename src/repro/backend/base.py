@@ -14,9 +14,16 @@ backend can regenerate its delta code:
 - :meth:`ExecutionBackend.on_drop` after ``DROP SCHEMA VERSION`` removed
   SMO instances from the catalog.
 
+Catalog transitions are pool-wide events: the engine takes its catalog
+write lock (draining every in-flight session statement), calls
+:meth:`ExecutionBackend.quiesce` so the backend can end every session's
+open transaction (DDL is not transactional), and only then runs the
+hooks above — so delta code is regenerated exactly once and republished
+atomically to all sessions.
+
 Once DML flows through an attached backend, the engine's in-memory tables
 no longer track the data (they are a snapshot from attach time); reads and
-writes must go through the backend connection.
+writes must go through backend sessions.
 """
 
 from __future__ import annotations
@@ -46,6 +53,11 @@ class ExecutionBackend(Protocol):
 
     def on_drop(self, version_name: str, removed: list["SmoInstance"]) -> None:
         """A schema version was dropped; ``removed`` SMOs left the catalog."""
+
+    def quiesce(self) -> None:
+        """A catalog transition is imminent (the engine holds the catalog
+        write lock): commit every session's open transaction so the
+        transition starts from a clean, fully committed data plane."""
 
     def close(self) -> None:
         """Release the backend's resources."""

@@ -120,7 +120,7 @@ def scaffold_statements(engine) -> list[str]:
             for column in schema.column_names:
                 index = physical_name("ix", str(smo.uid), role, column)
                 statements.append(
-                    f"CREATE INDEX IF NOT EXISTS {index} ON {table} ({q(column)})"
+                    f"CREATE INDEX IF NOT EXISTS {q(index)} ON {q(table)} ({q(column)})"
                 )
     return statements
 
@@ -132,7 +132,7 @@ def view_statements(engine) -> list[str]:
         route = route_for(engine, tv)
         if route is None:
             columns = ", ".join(["p", *qcols(tv.schema.column_names)])
-            select = f"SELECT {columns} FROM {tv.data_table_name}"
+            select = f"SELECT {columns} FROM {q(tv.data_table_name)}"
         else:
             select = handler_for(ctx, route[0]).view_select(tv)
         statements.append(emit.create_view(tv.view_name, select))
@@ -180,10 +180,10 @@ def _physical_write(tv: TableVersion, op: str) -> list[str]:
     data = tv.data_table_name
     columns = tv.schema.column_names
     if op == "DELETE":
-        return [f"DELETE FROM {data} WHERE p IS OLD.p"]
+        return [f"DELETE FROM {q(data)} WHERE p IS OLD.p"]
     collist = ", ".join(["p", *qcols(columns)])
     values = ", ".join(["NEW.p", *[f"NEW.{q(c)}" for c in columns]])
-    return [f"INSERT OR REPLACE INTO {data} ({collist}) VALUES ({values})"]
+    return [f"INSERT OR REPLACE INTO {q(data)} ({collist}) VALUES ({values})"]
 
 
 def repair_all_statements(engine) -> list[str]:
@@ -252,19 +252,19 @@ def migration_statements(
         name = tv.stage_table_name
         columns = ", ".join(["p", *qcols(tv.schema.column_names)])
         stage += [
-            f"DROP TABLE IF EXISTS {name}",
+            f"DROP TABLE IF EXISTS {q(name)}",
             table_ddl(name, tv.schema.column_names),
-            f"INSERT INTO {name} SELECT {columns} FROM {tv.view_name}",
+            f"INSERT INTO {q(name)} SELECT {columns} FROM {q(tv.view_name)}",
         ]
         swap += [
-            f"DROP TABLE IF EXISTS {tv.data_table_name}",
-            f"ALTER TABLE {name} RENAME TO {tv.data_table_name}",
+            f"DROP TABLE IF EXISTS {q(tv.data_table_name)}",
+            f"ALTER TABLE {q(name)} RENAME TO {q(tv.data_table_name)}",
         ]
 
     keep_data = {tv.data_table_name for tv in new_physical}
     for tv in old_physical:
         if tv.data_table_name not in keep_data:
-            swap.append(f"DROP TABLE IF EXISTS {tv.data_table_name}")
+            swap.append(f"DROP TABLE IF EXISTS {q(tv.data_table_name)}")
 
     for smo in genealogy.evolution_smos():
         semantics = smo.semantics
@@ -283,18 +283,18 @@ def migration_statements(
                 )
             name = _aux_stage_name(smo, role)
             stage += [
-                f"DROP TABLE IF EXISTS {name}",
+                f"DROP TABLE IF EXISTS {q(name)}",
                 table_ddl(name, schema_for_role.column_names),
-                f"INSERT INTO {name} ({', '.join(['p', *qcols(schema_for_role.column_names)])}) "
+                f"INSERT INTO {q(name)} ({', '.join(['p', *qcols(schema_for_role.column_names)])}) "
                 f"{select}",
             ]
             swap += [
-                f"DROP TABLE IF EXISTS {smo.aux_table_name(role)}",
-                f"ALTER TABLE {name} RENAME TO {smo.aux_table_name(role)}",
+                f"DROP TABLE IF EXISTS {q(smo.aux_table_name(role))}",
+                f"ALTER TABLE {q(name)} RENAME TO {q(smo.aux_table_name(role))}",
             ]
         for role in old_side:
             if role not in new_side:
-                swap.append(f"DROP TABLE IF EXISTS {smo.aux_table_name(role)}")
+                swap.append(f"DROP TABLE IF EXISTS {q(smo.aux_table_name(role))}")
     return stage, swap
 
 

@@ -34,10 +34,15 @@ def sequences_ddl() -> str:
 
 
 def table_ddl(name: str, columns: Sequence[str], *, temp: bool = False) -> str:
-    """``CREATE TABLE`` with the leading ``p`` key plus payload columns."""
+    """``CREATE TABLE`` with the leading ``p`` key plus payload columns.
+
+    The table name is quoted like every column: generated physical names
+    are sanitized identifiers today, but a reserved word or odd character
+    slipping through must never produce broken DDL.
+    """
     parts = ["p INTEGER PRIMARY KEY"] + [f"{q(c)}" for c in columns]
     keyword = "CREATE TEMP TABLE" if temp else "CREATE TABLE"
-    return f"{keyword} IF NOT EXISTS {name} ({', '.join(parts)})"
+    return f"{keyword} IF NOT EXISTS {q(name)} ({', '.join(parts)})"
 
 
 def empty_relation(columns: Sequence[str]) -> str:
@@ -185,7 +190,7 @@ def apply_extent(
 
 
 def create_view(name: str, select_sql: str) -> str:
-    return f"CREATE VIEW {name} AS\n{select_sql}"
+    return f"CREATE VIEW {q(name)} AS\n{select_sql}"
 
 
 def create_trigger(
@@ -194,6 +199,6 @@ def create_trigger(
     """An ``INSTEAD OF`` trigger with the given body statements."""
     body = ";\n  ".join(statements)
     return (
-        f"CREATE TRIGGER {name} INSTEAD OF {operation} ON {view_name}\n"
+        f"CREATE TRIGGER {q(name)} INSTEAD OF {operation} ON {q(view_name)}\n"
         f"BEGIN\n  {body};\nEND"
     )

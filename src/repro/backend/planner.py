@@ -41,7 +41,7 @@ from repro.sql.planner import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.backend.sqlite import LiveSqliteBackend
+    from repro.backend.sqlite import SqliteSession
     from repro.catalog.genealogy import TableVersion
 
 # SQLite spellings for scalar functions whose names differ from ours.
@@ -140,7 +140,7 @@ def _params_for(where: Expression | None, params: tuple) -> tuple:
 
 
 def execute_select(
-    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Select, params: tuple
+    session: "SqliteSession", version: SchemaVersion, stmt: Select, params: tuple
 ) -> StatementResult:
     tv = resolve_table(version, stmt.table)
     items, description = _projection(tv, stmt.items)
@@ -158,12 +158,12 @@ def execute_select(
         sql += f" LIMIT {renderer.render(stmt.limit)}"
         if stmt.offset is not None:
             sql += f" OFFSET {renderer.render(stmt.offset)}"
-    rows = backend.execute(sql, params).fetchall()
+    rows = session.execute(sql, params).fetchall()
     return StatementResult(description=description, rows=rows, rowcount=len(rows))
 
 
 def execute_insert(
-    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Insert, params: tuple
+    session: "SqliteSession", version: SchemaVersion, stmt: Insert, params: tuple
 ) -> StatementResult:
     tv, mappings = build_insert_mappings(version, stmt, params)
     keys: list[int] = []
@@ -171,17 +171,17 @@ def execute_insert(
     for values in mappings:
         if tv.key_column is not None:
             provided = values.get(tv.key_column)
-            key = int(provided) if provided is not None else backend.allocate_key()
+            key = int(provided) if provided is not None else session.allocate_key()
             values = dict(values)
             values[tv.key_column] = key
         else:
-            key = backend.allocate_key()
+            key = session.allocate_key()
         rows.append((key, *tv.schema.row_from_mapping(values)))
         keys.append(key)
     if rows:
         collist = ", ".join(["p", *qcols(tv.schema.column_names)])
         placeholders = ", ".join("?" for _ in range(len(tv.schema.column_names) + 1))
-        cursor = backend.connection.cursor()
+        cursor = session.cursor()
         cursor.executemany(
             f"INSERT INTO {tv.view_name} ({collist}) VALUES ({placeholders})", rows
         )
@@ -189,18 +189,18 @@ def execute_insert(
 
 
 def _matched_count(
-    backend: "LiveSqliteBackend",
+    session: "SqliteSession",
     tv: "TableVersion",
     renderer: SqlRenderer,
     where: Expression | None,
     params: tuple,
 ) -> int:
     sql = f"SELECT COUNT(*) FROM {tv.view_name}" + _where_sql(renderer, where)
-    return int(backend.execute(sql, _params_for(where, params)).fetchone()[0])
+    return int(session.execute(sql, _params_for(where, params)).fetchone()[0])
 
 
 def execute_update(
-    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Update, params: tuple
+    session: "SqliteSession", version: SchemaVersion, stmt: Update, params: tuple
 ) -> StatementResult:
     tv = resolve_table(version, stmt.table)
     renderer = SqlRenderer(tv)
@@ -214,37 +214,37 @@ def execute_update(
                 "identifier and cannot be updated"
             )
         sets.append(f"{q(name)} = {renderer.render(expression)}")
-    count = _matched_count(backend, tv, renderer, stmt.where, params)
+    count = _matched_count(session, tv, renderer, stmt.where, params)
     if count:
         sql = f"UPDATE {tv.view_name} SET {', '.join(sets)}"
         sql += _where_sql(renderer, stmt.where)
-        backend.execute(sql, params)
+        session.execute(sql, params)
     return StatementResult(rowcount=count)
 
 
 def execute_delete(
-    backend: "LiveSqliteBackend", version: SchemaVersion, stmt: Delete, params: tuple
+    session: "SqliteSession", version: SchemaVersion, stmt: Delete, params: tuple
 ) -> StatementResult:
     tv = resolve_table(version, stmt.table)
     renderer = SqlRenderer(tv)
-    count = _matched_count(backend, tv, renderer, stmt.where, params)
+    count = _matched_count(session, tv, renderer, stmt.where, params)
     if count:
         sql = f"DELETE FROM {tv.view_name}" + _where_sql(renderer, stmt.where)
-        backend.execute(sql, params)
+        session.execute(sql, params)
     return StatementResult(rowcount=count)
 
 
 def execute_statement_sqlite(
-    backend: "LiveSqliteBackend", version: SchemaVersion, stmt, params: tuple
+    session: "SqliteSession", version: SchemaVersion, stmt, params: tuple
 ) -> StatementResult:
     if isinstance(stmt, Select):
-        return execute_select(backend, version, stmt, params)
+        return execute_select(session, version, stmt, params)
     if isinstance(stmt, Insert):
-        return execute_insert(backend, version, stmt, params)
+        return execute_insert(session, version, stmt, params)
     if isinstance(stmt, Update):
-        return execute_update(backend, version, stmt, params)
+        return execute_update(session, version, stmt, params)
     if isinstance(stmt, Delete):
-        return execute_delete(backend, version, stmt, params)
+        return execute_delete(session, version, stmt, params)
     if isinstance(stmt, BidelStatement):  # pragma: no cover - handled upstream
         raise ProgrammingError("BiDEL DDL runs through the engine, not the backend")
     raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")

@@ -1,0 +1,197 @@
+"""A pool of per-session SQLite connections over one shared database.
+
+The live backend serves *many* concurrent clients: every SQL-layer
+connection (``repro.connect(engine, version, backend="sqlite")``) leases
+its own ``sqlite3`` handle to the one shared database holding the physical
+tables and the generated delta code, so sessions run real, independent
+transactions instead of time-sharing a single handle.
+
+Two database modes are supported:
+
+- **file-backed (WAL)** — the database lives on disk and is opened in
+  write-ahead-log mode: any number of sessions read concurrently without
+  blocking each other or the (single) writer, each read sees a consistent
+  committed snapshot, and writers queue on SQLite's write lock with a
+  busy timeout.  This is the serving configuration; it is what the
+  ``fig14`` concurrency benchmark measures.
+- **shared-cache in-memory** (the default ``:memory:``) — all sessions
+  attach to one shared-cache memory database with ``read_uncommitted``
+  enabled, preserving the engine's documented READ UNCOMMITTED semantics:
+  in-flight writes are visible to every co-existing version until rolled
+  back, and a write that conflicts with another session's open
+  transaction fails fast instead of deadlocking.
+
+Every handle is created with ``check_same_thread=False`` so a session can
+be leased on one thread and driven from another (the pool itself is
+thread-safe); SQLite's serialized threading mode makes the cross-thread
+calls safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import threading
+import time
+
+from repro.errors import OperationalError
+
+_shared_memory_counter = itertools.count()
+
+
+def shared_memory_uri() -> str:
+    """A fresh shared-cache in-memory database URI: every connection using
+    the same URI sees the same database, and the database lives for as
+    long as at least one connection stays open."""
+    n = next(_shared_memory_counter)
+    return f"file:repro-mem-{n}?mode=memory&cache=shared"
+
+
+class SessionPool:
+    """Thread-safe pool of ``sqlite3`` connections to one database.
+
+    Sizing knobs:
+
+    - ``pool_size`` — how many idle handles are retained for reuse; a
+      released handle beyond this is closed instead of cached.
+    - ``max_sessions`` — hard cap on handles leased out at once.  ``None``
+      (the default) means unbounded: SQLite itself arbitrates concurrency,
+      so an uncapped pool cannot deadlock, only add sessions.  With a cap,
+      :meth:`acquire` blocks up to ``acquire_timeout`` seconds and then
+      raises :class:`~repro.errors.OperationalError`.
+    - ``busy_timeout`` — seconds a session waits on SQLite's write lock
+      before a statement fails with "database is locked".
+    """
+
+    def __init__(
+        self,
+        database: str,
+        *,
+        uri: bool = False,
+        wal: bool = False,
+        pool_size: int = 8,
+        max_sessions: int | None = None,
+        busy_timeout: float = 5.0,
+        acquire_timeout: float = 30.0,
+    ):
+        self.database = database
+        self.uri = uri
+        self.wal = wal
+        self.pool_size = pool_size
+        self.max_sessions = max_sessions
+        self.busy_timeout = busy_timeout
+        self.acquire_timeout = acquire_timeout
+        self._idle: list[sqlite3.Connection] = []
+        self._leased = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Connection construction
+    # ------------------------------------------------------------------
+
+    def _configure(self, connection: sqlite3.Connection) -> sqlite3.Connection:
+        connection.isolation_level = None  # manual transaction control
+        connection.execute(f"PRAGMA busy_timeout = {int(self.busy_timeout * 1000)}")
+        if self.wal:
+            # Idempotent: the journal mode is a property of the database
+            # file, but every connection must still opt in to NORMAL
+            # syncing (durability is not the reproduction's bottleneck).
+            connection.execute("PRAGMA journal_mode = WAL")
+            connection.execute("PRAGMA synchronous = NORMAL")
+        else:
+            # Shared-cache mode uses table-level locks; read_uncommitted
+            # keeps readers from blocking on (and lets them see) other
+            # sessions' in-flight writes — the engine's documented
+            # READ UNCOMMITTED isolation.
+            connection.execute("PRAGMA read_uncommitted = 1")
+        return connection
+
+    def connect(self) -> sqlite3.Connection:
+        """One new configured handle, outside the pool's accounting (used
+        by the backend for its own administrative connection)."""
+        return self._configure(
+            sqlite3.connect(
+                self.database,
+                uri=self.uri,
+                check_same_thread=False,
+                timeout=self.busy_timeout,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> sqlite3.Connection:
+        with self._cond:
+            if self._closed:
+                raise OperationalError("the connection pool is closed")
+            if self.max_sessions is not None:
+                deadline = time.monotonic() + self.acquire_timeout
+                while self._leased >= self.max_sessions:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        raise OperationalError(
+                            f"no session available within {self.acquire_timeout}s "
+                            f"(max_sessions={self.max_sessions})"
+                        )
+                    if self._closed:
+                        raise OperationalError("the connection pool is closed")
+            self._leased += 1
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return self.connect()
+        except BaseException:
+            with self._cond:
+                self._leased -= 1
+                self._cond.notify()
+            raise
+
+    def release(self, connection: sqlite3.Connection) -> None:
+        """Return a handle to the pool; any open transaction is rolled
+        back so the next lease starts clean."""
+        try:
+            if connection.in_transaction:
+                connection.execute("ROLLBACK")
+        except sqlite3.Error:
+            connection.close()
+            connection = None  # type: ignore[assignment]
+        with self._cond:
+            self._leased = max(0, self._leased - 1)
+            if (
+                connection is not None
+                and not self._closed
+                and len(self._idle) < self.pool_size
+            ):
+                self._idle.append(connection)
+                connection = None  # type: ignore[assignment]
+            self._cond.notify()
+        if connection is not None:
+            connection.close()
+
+    @property
+    def leased(self) -> int:
+        with self._cond:
+            return self._leased
+
+    @property
+    def idle(self) -> int:
+        with self._cond:
+            return len(self._idle)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for connection in idle:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best effort
+                pass

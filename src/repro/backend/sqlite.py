@@ -12,16 +12,36 @@ physical and auxiliary tables entirely inside SQLite via the trigger
 cascade, and ``MATERIALIZE`` runs as a generated in-place SQL migration
 (stage new physical tables from the old views, swap, regenerate).  The
 engine's in-memory tables remain a snapshot from attach time.
+
+Concurrency
+-----------
+
+The backend is a *session* architecture: it owns one administrative handle
+(snapshot load, delta-code installation, migrations) plus a
+:class:`~repro.backend.pool.SessionPool`, and every SQL-layer connection
+leases its own :class:`SqliteSession` — a pooled ``sqlite3`` handle with
+real per-session ``BEGIN``/``COMMIT``/``ROLLBACK``.  With a file-backed
+database the pool runs in WAL mode, so concurrent readers never block;
+the default ``:memory:`` database uses SQLite's shared cache with
+``read_uncommitted`` (the engine's legacy isolation).  Catalog transitions
+are pool-wide events: the engine's catalog lock stops new statements,
+:meth:`LiveSqliteBackend.quiesce` commits every session's open transaction
+(DDL is not transactional), the delta code is regenerated once on the
+administrative handle — atomically, under a savepoint — and every session
+sees the republished views and triggers because they live in the shared
+database itself.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import TYPE_CHECKING
 
 from repro.backend import codegen, emit
-from repro.backend.emit import qcols
-from repro.errors import BackendError
+from repro.backend.emit import q, qcols
+from repro.backend.pool import SessionPool, shared_memory_uri
+from repro.errors import BackendError, InterfaceError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.catalog.genealogy import SmoInstance
@@ -29,33 +49,161 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import InVerDa
 
 
+class SqliteSession:
+    """One client's leased handle to the backend's shared database.
+
+    A session owns its transaction state: ``BEGIN``/``COMMIT``/``ROLLBACK``
+    run on the session's own ``sqlite3`` connection and never interact with
+    other sessions' transactions.  ``transaction_epoch`` is bumped whenever
+    something *other than the owner* ends the session's transaction (a
+    catalog transition's quiesce, or backend shutdown), so a SQL-layer
+    connection holding a stale transaction token can detect that its
+    transaction already ended instead of committing or rolling back work
+    it does not own.
+    """
+
+    def __init__(self, backend: "LiveSqliteBackend", connection: sqlite3.Connection):
+        self.backend = backend
+        self.connection = connection
+        self.transaction_epoch = 0
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # -- statement execution ---------------------------------------------
+
+    def _check_open(self) -> sqlite3.Connection:
+        if self._closed:
+            raise InterfaceError("cannot operate on a closed backend session")
+        return self.connection
+
+    def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        return self._check_open().execute(sql, parameters)
+
+    def cursor(self) -> sqlite3.Cursor:
+        return self._check_open().cursor()
+
+    def allocate_key(self) -> int:
+        """Advance the shared row-identifier sequence on this session's
+        handle (joins the session's open transaction, if any)."""
+        connection = self._check_open()
+        connection.execute(
+            f"UPDATE {emit.SEQUENCES_TABLE} SET value = value + 1 WHERE name = ?",
+            (emit.ROW_ID_SEQUENCE,),
+        )
+        row = connection.execute(
+            f"SELECT value FROM {emit.SEQUENCES_TABLE} WHERE name = ?",
+            (emit.ROW_ID_SEQUENCE,),
+        ).fetchone()
+        return int(row[0])
+
+    # -- transactions ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return not self._closed and self.connection.in_transaction
+
+    def begin(self) -> None:
+        connection = self._check_open()
+        if not connection.in_transaction:
+            connection.execute("BEGIN")
+
+    def commit(self) -> None:
+        connection = self._check_open()
+        if connection.in_transaction:
+            connection.execute("COMMIT")
+
+    def rollback(self) -> None:
+        connection = self._check_open()
+        if connection.in_transaction:
+            connection.execute("ROLLBACK")
+
+    def end_transaction(self, *, commit: bool) -> None:
+        """Forcibly end the session's open transaction on behalf of a
+        pool-wide event, bumping the epoch so the owner learns of it."""
+        if self._closed or not self.connection.in_transaction:
+            return
+        self.connection.execute("COMMIT" if commit else "ROLLBACK")
+        self.transaction_epoch += 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Roll back any open transaction and return the handle to the
+        pool.  Safe against concurrent closers (a user thread racing the
+        backend's shutdown or a GC-triggered ``Connection.__del__``): only
+        one of them releases the handle."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.transaction_epoch += 1
+        self.backend._forget_session(self)
+        self.backend.pool.release(self.connection)
+
+
 class LiveSqliteBackend:
     """A SQLite database serving reads *and* writes on every version."""
 
-    def __init__(self, engine: "InVerDa", connection: sqlite3.Connection):
+    def __init__(self, engine: "InVerDa", pool: SessionPool):
         self.engine = engine
-        self.connection = connection
+        self.pool = pool
+        # The administrative handle: snapshot load, delta-code install,
+        # migrations, and the engine-facing read helpers below.
+        self.connection = pool.connect()
         self._closed = False
-        # Bumped by the SQL layer whenever the underlying SQLite
-        # transaction ends; connections compare it against the epoch they
-        # began in, so a stale owner can never COMMIT/ROLLBACK a newer
-        # transaction opened by someone else.
-        self.transaction_epoch = 0
+        self._sessions: list[SqliteSession] = []
+        self._sessions_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
     @classmethod
-    def attach(cls, engine: "InVerDa", *, database: str = ":memory:") -> "LiveSqliteBackend":
+    def attach(
+        cls,
+        engine: "InVerDa",
+        *,
+        database: str = ":memory:",
+        pool_size: int = 8,
+        max_sessions: int | None = None,
+        busy_timeout: float = 5.0,
+    ) -> "LiveSqliteBackend":
         """Snapshot ``engine`` into SQLite, install the generated delta
-        code, and register with the engine."""
-        connection = sqlite3.connect(database)
-        connection.isolation_level = None  # manual transaction control
-        backend = cls(engine, connection)
+        code, and register with the engine.
+
+        ``database=":memory:"`` (the default) serves all sessions from one
+        shared-cache in-memory database; a file path opens (or creates)
+        that file in WAL mode so concurrent readers scale.  ``pool_size``,
+        ``max_sessions``, and ``busy_timeout`` are passed through to the
+        :class:`~repro.backend.pool.SessionPool`.
+        """
+        if database == ":memory:":
+            database, uri, wal = shared_memory_uri(), True, False
+        elif database.startswith("file:"):
+            uri, wal = True, "mode=memory" not in database
+            if not wal and "cache=shared" not in database:
+                # A private in-memory URI would give every pooled session
+                # its own empty database; all sessions must share one.
+                database += ("&" if "?" in database else "?") + "cache=shared"
+        else:
+            uri, wal = False, True
+        pool = SessionPool(
+            database,
+            uri=uri,
+            wal=wal,
+            pool_size=pool_size,
+            max_sessions=max_sessions,
+            busy_timeout=busy_timeout,
+        )
+        backend = cls(engine, pool)
         backend._load_snapshot()
         backend.regenerate()
         backend._run(codegen.repair_all_statements(engine))
+        backend.connection.commit()
         engine.attach_backend(backend)
         return backend
 
@@ -76,10 +224,43 @@ class LiveSqliteBackend:
             cursor.execute(emit.table_ddl(name, columns))
             placeholders = ", ".join("?" for _ in range(len(columns) + 1))
             cursor.executemany(
-                f"INSERT INTO {name} VALUES ({placeholders})",
+                f"INSERT INTO {q(name)} VALUES ({placeholders})",
                 [(key, *row) for key, row in table],
             )
         self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def open_session(self) -> SqliteSession:
+        """Lease a session (its own pooled ``sqlite3`` handle) for one
+        SQL-layer connection."""
+        if self._closed:
+            raise InterfaceError("cannot open a session on a closed backend")
+        session = SqliteSession(self, self.pool.acquire())
+        with self._sessions_lock:
+            self._sessions.append(session)
+        return session
+
+    def _forget_session(self, session: SqliteSession) -> None:
+        with self._sessions_lock:
+            if session in self._sessions:
+                self._sessions.remove(session)
+
+    def live_sessions(self) -> list[SqliteSession]:
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    def quiesce(self) -> None:
+        """Commit every session's open transaction ahead of a catalog
+        transition (BiDEL DDL is not transactional and implicitly commits
+        every open transaction, pool-wide).  Called by the engine while it
+        holds the catalog write lock, so no statements are in flight."""
+        for session in self.live_sessions():
+            session.end_transaction(commit=True)
+        if self.connection.in_transaction:
+            self.connection.execute("COMMIT")
 
     # ------------------------------------------------------------------
     # Delta-code generation
@@ -99,17 +280,31 @@ class LiveSqliteBackend:
         views, triggers = codegen.generated_object_names(self.connection)
         cursor = self.connection.cursor()
         for trigger in triggers:
-            cursor.execute(f"DROP TRIGGER IF EXISTS {trigger}")
+            cursor.execute(f"DROP TRIGGER IF EXISTS {q(trigger)}")
         for view in views:
-            cursor.execute(f"DROP VIEW IF EXISTS {view}")
+            cursor.execute(f"DROP VIEW IF EXISTS {q(view)}")
 
     def regenerate(self) -> None:
         """(Re)install scaffolding, views, and trigger programs for the
-        catalog's current state."""
-        self.drop_generated()
-        self._run(codegen.scaffold_statements(self.engine))
-        self._run(codegen.view_statements(self.engine))
-        self._run(codegen.trigger_statements(self.engine))
+        catalog's current state — atomically.
+
+        The drop + reinstall runs under a savepoint: a mid-install failure
+        (a :class:`BackendError` from any generated statement) rolls the
+        database back to the previous, complete delta code instead of
+        leaving half-installed views serving wrong answers.
+        """
+        cursor = self.connection.cursor()
+        cursor.execute("SAVEPOINT repro_regenerate")
+        try:
+            self.drop_generated()
+            self._run(codegen.scaffold_statements(self.engine))
+            self._run(codegen.view_statements(self.engine))
+            self._run(codegen.trigger_statements(self.engine))
+        except BaseException:
+            cursor.execute("ROLLBACK TO repro_regenerate")
+            cursor.execute("RELEASE repro_regenerate")
+            raise
+        cursor.execute("RELEASE repro_regenerate")
 
     def generated_sql(self) -> str:
         """The full delta-code script (for inspection and code metrics)."""
@@ -156,12 +351,12 @@ class LiveSqliteBackend:
                     tables.add(smo.aux_table_name(role))
                 tables |= set(handler_for(ctx, smo).put_tables())
             for table in tables:
-                cursor.execute(f"DROP TABLE IF EXISTS {table}")
+                cursor.execute(f"DROP TABLE IF EXISTS {q(table)}")
         self.regenerate()
         self.connection.commit()
 
     # ------------------------------------------------------------------
-    # Data plane
+    # Data plane (administrative handle)
     # ------------------------------------------------------------------
 
     def allocate_key(self) -> int:
@@ -199,8 +394,17 @@ class LiveSqliteBackend:
         return [row[0] for row in rows]
 
     def close(self) -> None:
+        """Roll back in-flight work, close every session, and release the
+        database.  Sessions closed here bump their epoch, so a dangling
+        SQL-layer connection sees its transaction as ended instead of
+        misreporting (or later clobbering) someone else's."""
         if self._closed:
             return
         self._closed = True
+        for session in self.live_sessions():
+            session.close()
+        if self.connection.in_transaction:
+            self.connection.execute("ROLLBACK")
         self.engine.detach_backend(self)
+        self.pool.close()
         self.connection.close()

@@ -9,6 +9,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig11,
     fig12,
     fig13,
+    fig14,
     table2,
     table3,
     table4,

@@ -24,7 +24,9 @@ provides an incremental fast path and by a full lens put otherwise.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable
+from contextlib import contextmanager
 
 from repro.bidel.ast import (
     CreateSchemaVersion,
@@ -54,6 +56,72 @@ from repro.relational.table import Key, Table
 _ID_COLUMN = "id"
 
 
+class RWLock:
+    """A writer-preferring read/write lock guarding the catalog.
+
+    The data plane (SQL statements of concurrent sessions) takes the read
+    side, so any number of sessions read and write *data* in parallel;
+    catalog transitions (evolution, ``MATERIALIZE``, drop) take the write
+    side, which drains in-flight statements, blocks new ones, and gives
+    the transition exclusive access to regenerate delta code once and
+    republish it to every session.
+
+    The write side is reentrant (``materialize`` calls
+    ``apply_materialization``); a thread holding the write lock may also
+    enter the read side.  Waiting writers block *new* readers so a steady
+    stream of statements cannot starve DDL.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        me = threading.get_ident()
+        with self._cond:
+            reentrant = self._writer == me
+            if not reentrant:
+                while self._writer is not None or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        try:
+            # A thread already holding the write lock reads freely: the
+            # catalog transition itself is the only activity.
+            yield
+        finally:
+            if not reentrant:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+            else:
+                self._writers_waiting += 1
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+                self._writers_waiting -= 1
+                self._writer = me
+                self._writer_depth = 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()
+
+
 class InVerDa:
     """A database with end-to-end support for co-existing schema versions."""
 
@@ -69,6 +137,9 @@ class InVerDa:
         # a snapshot from attach time, but the catalog (and the *layout* of
         # physical storage, which the code generators consult) stays live.
         self._backends: list = []
+        # Catalog read/write lock: concurrent sessions' statements take the
+        # read side, catalog transitions (DDL) the write side.
+        self.catalog_lock = RWLock()
         from repro.core.advisor import WorkloadRecorder
 
         self.workload = WorkloadRecorder()
@@ -89,6 +160,15 @@ class InVerDa:
     def live_backend(self):
         """The attached execution backend, if any."""
         return self._backends[0] if self._backends else None
+
+    def _quiesce_backends(self) -> None:
+        """Commit every backend session's open transaction before a
+        catalog transition (DDL is not transactional).  Runs under the
+        catalog write lock, so no session statements are in flight."""
+        for backend in self._backends:
+            quiesce = getattr(backend, "quiesce", None)
+            if quiesce is not None:
+                quiesce()
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -136,6 +216,11 @@ class InVerDa:
     # ------------------------------------------------------------------
 
     def create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
+        with self.catalog_lock.write_locked():
+            self._quiesce_backends()
+            return self._create_schema_version(statement)
+
+    def _create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
         working: dict[str, TableVersion] = {}
         if statement.source is not None:
             working.update(self.genealogy.schema_version(statement.source).tables)
@@ -238,6 +323,11 @@ class InVerDa:
     # ------------------------------------------------------------------
 
     def drop_schema_version(self, name: str) -> None:
+        with self.catalog_lock.write_locked():
+            self._quiesce_backends()
+            self._drop_schema_version(name)
+
+    def _drop_schema_version(self, name: str) -> None:
         version = self.genealogy.schema_version(name)
         removable = self.genealogy.drop_schema_version(version.name)
         # SMOs no longer connecting remaining versions are garbage-collected
@@ -616,6 +706,10 @@ class InVerDa:
 
     def materialize(self, targets: Iterable[str]) -> None:
         """``MATERIALIZE 'version'`` / ``MATERIALIZE 'version.table', ...``"""
+        with self.catalog_lock.write_locked():
+            self._materialize(targets)
+
+    def _materialize(self, targets: Iterable[str]) -> None:
         table_versions: list[TableVersion] = []
         for target in targets:
             if "." in target:
@@ -636,6 +730,11 @@ class InVerDa:
         then swapped in atomically; afterwards every SMO's materialization
         flag is updated and obsolete tables are dropped.
         """
+        with self.catalog_lock.write_locked():
+            self._quiesce_backends()
+            self._apply_materialization(schema)
+
+    def _apply_materialization(self, schema: frozenset[SmoInstance]) -> None:
         validate_materialization(self.genealogy, schema)
         # Attached backends migrate first, against the old views and flags;
         # the in-memory rebuild below then keeps the *layout* of physical

@@ -10,10 +10,25 @@ every other co-existing version.
 Transactions
 ------------
 
-The engine applies writes eagerly and keeps an undo log, so transactions
-are journal-backed: ``commit()`` discards the journal, ``rollback()``
-replays it backwards — undoing the write everywhere it propagated.
-Semantics:
+On the **in-memory engine** writes are applied eagerly and journalled, so
+transactions are undo-log-backed: ``commit()`` discards the journal,
+``rollback()`` replays it backwards — undoing the write everywhere it
+propagated.  Connections share the engine's single journal: a connection
+whose transaction began while another connection's was open joins that
+transaction and only rolls back its own suffix, and isolation is READ
+UNCOMMITTED (single-process, single-writer engine).
+
+On the **live SQLite backend** every connection leases its *own* session
+(a pooled ``sqlite3`` handle to the shared database), so transactions are
+real and per-session: ``BEGIN``/``COMMIT``/``ROLLBACK`` run on the
+session's handle and concurrent sessions proceed in parallel.  Isolation
+follows the database mode — snapshot isolation under WAL (file-backed
+databases: readers never block and see committed state), READ UNCOMMITTED
+on the default shared-cache in-memory database (in-flight writes are
+visible across sessions, and a write conflicting with another session's
+open transaction fails fast with ``OperationalError``).
+
+Common semantics on both backends:
 
 - with ``autocommit=False`` (the DB-API default) a transaction starts
   implicitly at the first write and ends at ``commit()``/``rollback()``;
@@ -22,12 +37,9 @@ Semantics:
 - ``with conn:`` commits on normal exit and rolls back on exception;
   nested ``with`` blocks join the outermost transaction (only the
   outermost block commits or rolls back);
-- a connection whose transaction began while another connection's was
-  open joins that transaction and only rolls back its own suffix;
-- isolation is READ UNCOMMITTED: in-flight writes are visible to every
-  version until rolled back (single-process, single-writer engine);
 - executing BiDEL DDL through a cursor implicitly commits EVERY open
-  transaction (DDL is not transactional).
+  transaction, across all sessions (DDL is not transactional); a stale
+  transaction token detects this and makes later commit/rollback inert.
 """
 
 from __future__ import annotations
@@ -59,7 +71,7 @@ from repro.sql.planner import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.backend.sqlite import LiveSqliteBackend
+    from repro.backend.sqlite import LiveSqliteBackend, SqliteSession
     from repro.core.engine import InVerDa
 
 _scope_counter = itertools.count()
@@ -67,8 +79,8 @@ _scope_counter = itertools.count()
 
 @dataclass
 class _Transaction:
-    journal: list | str | None  # engine undo log (memory) / savepoint (sqlite)
-    mark: int  # journal length when this connection's transaction began
+    journal: list | None  # engine undo log (memory backends only)
+    mark: int  # journal length (memory) / session epoch (sqlite) at begin
     owner: bool  # did this connection open the engine-level journal?
 
 
@@ -156,18 +168,21 @@ class Cursor:
             # DDL is not transactional: it implicitly commits EVERY open
             # transaction. A journal kept across a migration would name
             # physical tables the swap may drop, making rollback a lie.
+            # The engine takes the catalog write lock (quiescing every
+            # backend session) before touching the catalog.
             connection.commit()
             connection._force_end_transactions()
             with _translated_errors():
                 connection.engine.execute(statement.text)
             return self
-        if isinstance(statement, Select):
-            with _translated_errors():
+        with connection.engine.catalog_lock.read_locked():
+            if isinstance(statement, Select):
+                with _translated_errors():
+                    self._result = connection._execute_planned(statement, params)
+                connection.engine.workload.record_read(connection.version_name)
+                return self
+            with connection._write_scope(), _translated_errors():
                 self._result = connection._execute_planned(statement, params)
-            connection.engine.workload.record_read(connection.version_name)
-            return self
-        with connection._write_scope(), _translated_errors():
-            self._result = connection._execute_planned(statement, params)
         connection.engine.workload.record_write(connection.version_name)
         return self
 
@@ -190,20 +205,24 @@ class Cursor:
             raise ProgrammingError("executemany() only accepts DML statements")
         seq_of_parameters = list(seq_of_parameters)
         if isinstance(statement, Insert) and connection._backend is None:
-            cursor = self._executemany_insert(connection, statement, seq_of_parameters)
+            with connection.engine.catalog_lock.read_locked():
+                cursor = self._executemany_insert(
+                    connection, statement, seq_of_parameters
+                )
             connection.engine.workload.record_write(
                 connection.version_name, len(seq_of_parameters)
             )
             return cursor
         total = 0
         lastrowid: int | None = None
-        with connection._write_scope(), _translated_errors():
-            for parameters in seq_of_parameters:
-                params = _normalize_params(parameters, statement.param_count)
-                result = connection._execute_planned(statement, params)
-                total += max(result.rowcount, 0)
-                if result.lastrowid is not None:
-                    lastrowid = result.lastrowid
+        with connection.engine.catalog_lock.read_locked():
+            with connection._write_scope(), _translated_errors():
+                for parameters in seq_of_parameters:
+                    params = _normalize_params(parameters, statement.param_count)
+                    result = connection._execute_planned(statement, params)
+                    total += max(result.rowcount, 0)
+                    if result.lastrowid is not None:
+                        lastrowid = result.lastrowid
         self._result = StatementResult(rowcount=total, lastrowid=lastrowid)
         connection.engine.workload.record_write(
             connection.version_name, len(seq_of_parameters)
@@ -284,6 +303,11 @@ class Connection:
         self._version = version
         self.autocommit = autocommit
         self._backend = backend
+        # On the live backend every connection leases its own session — a
+        # pooled sqlite3 handle with real per-session transactions.
+        self._session: "SqliteSession | None" = (
+            backend.open_session() if backend is not None else None
+        )
         self._txn: _Transaction | None = None
         self._with_depth = 0
         self._closed = False
@@ -300,12 +324,21 @@ class Connection:
 
     @property
     def in_transaction(self) -> bool:
-        return self._txn is not None
+        if self._txn is None:
+            return False
+        if (
+            self._session is not None
+            and self._session.transaction_epoch != self._txn.mark
+        ):
+            # The transaction was force-ended (catalog transition or
+            # backend shutdown); report reality, not the stale token.
+            return False
+        return True
 
     # -- statement dispatch ------------------------------------------------
 
     def _execute_planned(self, statement: SqlStatement, params: tuple) -> StatementResult:
-        if self._backend is None:
+        if self._session is None:
             if self.engine.live_backend is not None:
                 # This connection predates the backend attach; its data
                 # plane is the dead in-memory snapshot. Refuse rather than
@@ -317,17 +350,15 @@ class Connection:
             return execute_statement(self.engine, self._version, statement, params)
         from repro.backend.planner import execute_statement_sqlite
 
-        return execute_statement_sqlite(self._backend, self._version, statement, params)
+        return execute_statement_sqlite(self._session, self._version, statement, params)
 
     def _force_end_transactions(self) -> None:
         """DDL implicitly commits every open transaction, including other
-        connections' (they will find their journal/savepoint gone)."""
+        connections' (they will find their journal gone).  Backend
+        sessions are quiesced by the engine itself, under the catalog
+        write lock, before it touches the catalog."""
         if self._backend is None:
             self.engine._undo_log = None
-            return
-        if self._backend.connection.in_transaction:
-            self._backend.connection.execute("COMMIT")
-            self._backend.transaction_epoch += 1
 
     def table_names(self) -> list[str]:
         return self._version.table_names()
@@ -343,12 +374,21 @@ class Connection:
             raise InterfaceError("cannot operate on a closed connection")
 
     def close(self) -> None:
-        """Roll back any open transaction and close the connection."""
+        """Roll back any open transaction, release the backend session
+        back to the pool, and close the connection."""
         if self._closed:
             return
         if self._txn is not None:
             self.rollback()
         self._closed = True
+        if self._session is not None:
+            self._session.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown or an already-closed pool
 
     # -- cursors -----------------------------------------------------------
 
@@ -369,17 +409,19 @@ class Connection:
 
     def _begin(self) -> None:
         if self._txn is not None:
-            return
-        if self._backend is not None:
-            sconn = self._backend.connection
-            epoch = self._backend.transaction_epoch
-            if not sconn.in_transaction:
-                sconn.execute("BEGIN")
-                self._txn = _Transaction(journal=None, mark=epoch, owner=True)
+            if (
+                self._session is not None
+                and self._session.transaction_epoch != self._txn.mark
+            ):
+                self._txn = None  # force-ended; a fresh transaction begins
             else:
-                savepoint = f"txn_{next(_scope_counter)}"
-                sconn.execute(f"SAVEPOINT {savepoint}")
-                self._txn = _Transaction(journal=savepoint, mark=epoch, owner=False)
+                return
+        if self._session is not None:
+            with _translated_errors():
+                self._session.begin()
+            self._txn = _Transaction(
+                journal=None, mark=self._session.transaction_epoch, owner=True
+            )
             return
         log = self.engine._undo_log
         if log is None:
@@ -394,22 +436,12 @@ class Connection:
         self._check_open()
         if self._txn is None:
             return
-        if self._backend is not None:
-            sconn = self._backend.connection
-            stale = self._backend.transaction_epoch != self._txn.mark
+        if self._session is not None:
             self._txn, txn = None, self._txn
-            if stale:
-                return  # the transaction this handle began in already ended
-            if txn.owner:
-                if sconn.in_transaction:
-                    with _translated_errors():
-                        sconn.execute("COMMIT")
-                self._backend.transaction_epoch += 1
-            else:
-                try:
-                    sconn.execute(f"RELEASE {txn.journal}")
-                except sqlite3.Error:
-                    pass  # the enclosing transaction already released it
+            if self._session.transaction_epoch != txn.mark:
+                return  # the transaction this token names already ended
+            with self.engine.catalog_lock.read_locked(), _translated_errors():
+                self._session.commit()
             return
         if self._txn.owner and self.engine._undo_log is self._txn.journal:
             self.engine._undo_log = None
@@ -421,23 +453,12 @@ class Connection:
         self._check_open()
         if self._txn is None:
             return
-        if self._backend is not None:
-            sconn = self._backend.connection
-            stale = self._backend.transaction_epoch != self._txn.mark
+        if self._session is not None:
             self._txn, txn = None, self._txn
-            if stale:
-                return  # the transaction this handle began in already ended
-            if txn.owner:
-                if sconn.in_transaction:
-                    with _translated_errors():
-                        sconn.execute("ROLLBACK")
-                self._backend.transaction_epoch += 1
-            else:
-                try:
-                    sconn.execute(f"ROLLBACK TO {txn.journal}")
-                    sconn.execute(f"RELEASE {txn.journal}")
-                except sqlite3.Error:
-                    pass  # the enclosing transaction already released it
+            if self._session.transaction_epoch != txn.mark:
+                return  # the transaction this token names already ended
+            with self.engine.catalog_lock.read_locked(), _translated_errors():
+                self._session.rollback()
             return
         # Only touch the journal this transaction actually wrote into. If
         # it is gone (the owning connection committed or rolled back), the
@@ -459,29 +480,26 @@ class Connection:
         self._check_open()
         if not self.autocommit:
             self._begin()
-        if self._backend is not None:
-            sconn = self._backend.connection
-            if self.autocommit and self._txn is None and sconn.in_transaction:
-                # The memory backend self-commits such a write by dropping
-                # its undo entries; one SQLite connection cannot commit a
-                # statement inside another connection's open transaction,
-                # so refuse loudly instead of letting a foreign rollback
-                # silently erase a supposedly autocommitted write.
-                raise OperationalError(
-                    "autocommit write while another connection's transaction "
-                    "is open on the SQLite backend; commit or roll back that "
-                    "transaction first"
-                )
+        if self._session is not None:
+            # The statement savepoint runs on this connection's OWN
+            # session: in autocommit mode (no open transaction) releasing
+            # it commits the statement; inside a transaction it only
+            # bounds the statement's effects.  Conflicts with other
+            # sessions surface as SQLite lock errors, not silent joins.
+            session = self._session
             savepoint = f"stmt_{next(_scope_counter)}"
-            sconn.execute(f"SAVEPOINT {savepoint}")
+            with _translated_errors():
+                session.execute(f"SAVEPOINT {savepoint}")
             try:
                 yield
             except BaseException:
-                sconn.execute(f"ROLLBACK TO {savepoint}")
-                sconn.execute(f"RELEASE {savepoint}")
+                if not session.closed:
+                    session.execute(f"ROLLBACK TO {savepoint}")
+                    session.execute(f"RELEASE {savepoint}")
                 raise
             else:
-                sconn.execute(f"RELEASE {savepoint}")
+                with _translated_errors():
+                    session.execute(f"RELEASE {savepoint}")
             return
         engine = self.engine
         if engine._undo_log is None:
@@ -511,7 +529,8 @@ class Connection:
     def __enter__(self) -> "Connection":
         self._check_open()
         self._with_depth += 1
-        self._begin()
+        with self.engine.catalog_lock.read_locked():
+            self._begin()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:

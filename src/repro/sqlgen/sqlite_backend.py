@@ -11,8 +11,7 @@ engine (the engine's in-memory tables remain the data plane).
 
 from __future__ import annotations
 
-import sqlite3
-
+from repro.backend.pool import SessionPool, shared_memory_uri
 from repro.backend.sqlite import LiveSqliteBackend
 from repro.core.engine import InVerDa
 
@@ -26,9 +25,8 @@ class SqliteBackend(LiveSqliteBackend):
 
     @classmethod
     def build(cls, engine: InVerDa) -> "SqliteBackend":
-        connection = sqlite3.connect(":memory:")
-        connection.isolation_level = None
-        backend = cls(engine, connection)
+        pool = SessionPool(shared_memory_uri(), uri=True, wal=False)
+        backend = cls(engine, pool)
         backend._load_snapshot()
         backend.regenerate()
         backend._run_repairs()

@@ -211,8 +211,10 @@ class TestSqliteTransactions:
         assert conn.execute("DELETE FROM Item WHERE qty = 77").rowcount == 1
 
     def test_autocommit_write_inside_foreign_transaction_refused(self):
-        # One SQLite connection cannot commit a statement inside another
-        # connection's transaction; refusing beats silent erasure.
+        # Each connection runs its own session; on the shared-cache
+        # in-memory database a write colliding with another session's
+        # open write transaction fails fast on the table lock (WAL
+        # file databases queue on the busy timeout instead).
         engine = _engine()
         a = connect(engine, "v1", backend="sqlite")
         b = connect(engine, "v1", autocommit=True, backend="sqlite")

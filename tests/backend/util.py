@@ -24,6 +24,8 @@ class DualSystem:
             self.backend = LiveSqliteBackend.attach(self.sq)
 
     def execute_ddl(self, script: str) -> None:
+        for conn in (*self._mem_conns.values(), *self._sq_conns.values()):
+            conn.close()  # release each connection's backend session
         self._mem_conns.clear()
         self._sq_conns.clear()
         self.mem.execute(script)
