@@ -8,6 +8,8 @@ Public entry points:
   schema version, and migrate the physical table schema with one call.
 - :func:`connect` — a PEP-249 (DB-API) connection to one schema version:
   cursors, SQL with ``?`` parameter binding, commit/rollback.
+- :func:`serve` / :func:`connect_remote` — the same connection surface
+  over TCP: a threaded wire-protocol server and its client driver.
 - :func:`parse_script` / :func:`parse_smo` — the BiDEL parser.
 - :mod:`repro.verification` — formal (symbolic) and runtime
   bidirectionality checks.
@@ -19,13 +21,17 @@ Public entry points:
 from repro.bidel import parse_script, parse_smo
 from repro.core import InVerDa, VersionConnection
 from repro.errors import ReproError
+from repro.server import ReproServer, connect_remote, serve
 from repro.sql import Connection, Cursor, connect
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "InVerDa",
     "connect",
+    "connect_remote",
+    "serve",
+    "ReproServer",
     "Connection",
     "Cursor",
     "VersionConnection",

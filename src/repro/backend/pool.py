@@ -181,6 +181,21 @@ class SessionPool:
         with self._cond:
             return len(self._idle)
 
+    def stats(self) -> dict:
+        """A consistent snapshot of the pool's sizing and occupancy — the
+        numbers the network server's ``status`` op reports to clients."""
+        with self._cond:
+            return {
+                "database": self.database,
+                "wal": self.wal,
+                "leased": self._leased,
+                "idle": len(self._idle),
+                "pool_size": self.pool_size,
+                "max_sessions": self.max_sessions,
+                "busy_timeout": self.busy_timeout,
+                "closed": self._closed,
+            }
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

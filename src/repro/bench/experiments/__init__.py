@@ -10,6 +10,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig12,
     fig13,
     fig14,
+    fig15,
     table2,
     table3,
     table4,

@@ -1,0 +1,153 @@
+"""Figure 15 (extension): network serving throughput, remote vs in-process.
+
+The serving layer's claim is that putting the engine behind a TCP wire
+protocol keeps the concurrency story intact: N remote clients are N real
+server-side sessions, so aggregate throughput must scale with clients
+just as in-process sessions do — the protocol adds per-request latency,
+not serialization.
+
+A TasKy database on a file-backed WAL SQLite backend is driven by the
+same read workload two ways:
+
+- ``local`` — N threads, each with its own in-process connection
+  (pooled session), as in fig14;
+- ``remote`` — a :class:`~repro.server.server.ReproServer` in front of
+  the same engine, N threads each with its own ``connect_remote`` TCP
+  client.
+
+Reported: ops/s over all clients and the speedup against one client of
+the same transport.  The interesting numbers: remote-vs-local overhead
+at 1 client (wire-protocol cost per statement) and the remote speedup
+curve at 8/32 clients (does the server serialize?).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.bench.harness import Experiment, ExperimentResult, register
+from repro.server.client import connect_remote
+from repro.server.server import ReproServer
+from repro.sql.connection import connect
+from repro.workloads.tasky import build_tasky
+
+READ_STATEMENTS = [
+    ("TasKy", "SELECT count(rowid), sum(prio) FROM Task"),
+    ("TasKy2", "SELECT count(task), min(prio) FROM Task"),
+    ("Do!", "SELECT count(author) FROM Todo"),
+]
+
+
+def _run_clients(connect_fn, *, clients: int, ops: int) -> tuple[float, int]:
+    """(elapsed seconds, completed ops) for ``clients`` concurrent
+    connections issuing ``ops`` read statements each."""
+    barrier = threading.Barrier(clients + 1)
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        conns: list[tuple] = []
+        try:
+            conns = [
+                (connect_fn(version), sql) for version, sql in READ_STATEMENTS
+            ]
+            barrier.wait()
+            for op in range(ops):
+                conn, sql = conns[(index + op) % len(conns)]
+                conn.execute(sql).fetchall()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            barrier.abort()
+        finally:
+            for conn, _ in conns:
+                conn.close()
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    for thread in pool:
+        thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker failed during setup; its error is surfaced below
+    start = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, clients * ops
+
+
+def run(
+    num_tasks: int = 5000,
+    ops: int = 150,
+    client_counts: tuple[int, ...] = (1, 8, 32),
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Figure 15: network serving throughput (remote vs in-process)",
+        columns=("transport", "clients", "ops", "seconds", "ops_per_s", "speedup"),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        scenario = build_tasky(num_tasks)
+        backend = LiveSqliteBackend.attach(
+            scenario.engine,
+            database=os.path.join(tmp, "fig15.db"),
+            pool_size=max(client_counts) * 2,
+        )
+        server = ReproServer(scenario.engine).start()
+        host, port = server.address
+
+        def local_connect(version):
+            return connect(scenario.engine, version, autocommit=True, backend=backend)
+
+        def remote_connect(version):
+            return connect_remote(
+                host, port, version, autocommit=True, timeout=120.0
+            )
+
+        try:
+            for transport, connect_fn in (
+                ("local", local_connect),
+                ("remote", remote_connect),
+            ):
+                baseline: float | None = None
+                for clients in client_counts:
+                    elapsed, completed = _run_clients(
+                        connect_fn, clients=clients, ops=ops
+                    )
+                    throughput = completed / elapsed if elapsed else float("inf")
+                    if baseline is None:
+                        baseline = throughput
+                    result.add(
+                        transport,
+                        clients,
+                        completed,
+                        elapsed,
+                        throughput,
+                        throughput / baseline,
+                    )
+        finally:
+            server.close()
+            backend.close()
+    result.note(
+        "same WAL database and read workload on both transports; every "
+        "remote client is its own TCP connection and server-side session"
+    )
+    result.note(f"{num_tasks} tasks, {ops} ops/client")
+    return result
+
+
+register(
+    Experiment(
+        name="fig15",
+        title="Network serving throughput",
+        paper_artifact="Figure 15*",
+        runner=run,
+        quick_kwargs={"num_tasks": 5000, "ops": 150},
+        paper_kwargs={"num_tasks": 100_000, "ops": 500},
+    )
+)

@@ -140,6 +140,11 @@ class InVerDa:
         # Catalog read/write lock: concurrent sessions' statements take the
         # read side, catalog transitions (DDL) the write side.
         self.catalog_lock = RWLock()
+        # Catalog-transition listeners (e.g. the network server invalidating
+        # clients bound to a dropped version). Called while the write lock
+        # is still held — listeners must be quick and must not execute
+        # statements (they would deadlock on the read side).
+        self._catalog_listeners: list = []
         from repro.core.advisor import WorkloadRecorder
 
         self.workload = WorkloadRecorder()
@@ -160,6 +165,24 @@ class InVerDa:
     def live_backend(self):
         """The attached execution backend, if any."""
         return self._backends[0] if self._backends else None
+
+    def add_catalog_listener(self, listener) -> None:
+        """Register ``listener(event: str, **info)`` to be called after
+        every catalog transition (``"evolution"``, ``"materialize"``,
+        ``"drop"``), still under the catalog write lock."""
+        if listener not in self._catalog_listeners:
+            self._catalog_listeners.append(listener)
+
+    def remove_catalog_listener(self, listener) -> None:
+        if listener in self._catalog_listeners:
+            self._catalog_listeners.remove(listener)
+
+    def _notify_catalog(self, event: str, **info) -> None:
+        for listener in list(self._catalog_listeners):
+            try:
+                listener(event, **info)
+            except Exception:  # pragma: no cover - listeners are advisory
+                pass  # the catalog already changed; a listener cannot veto it
 
     def _quiesce_backends(self) -> None:
         """Commit every backend session's open transaction before a
@@ -218,7 +241,9 @@ class InVerDa:
     def create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
-            return self._create_schema_version(statement)
+            version = self._create_schema_version(statement)
+            self._notify_catalog("evolution", version=version.name)
+            return version
 
     def _create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
         working: dict[str, TableVersion] = {}
@@ -326,6 +351,7 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             self._drop_schema_version(name)
+            self._notify_catalog("drop", version=name)
 
     def _drop_schema_version(self, name: str) -> None:
         version = self.genealogy.schema_version(name)
@@ -733,6 +759,7 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             self._apply_materialization(schema)
+            self._notify_catalog("materialize")
 
     def _apply_materialization(self, schema: frozenset[SmoInstance]) -> None:
         validate_materialization(self.genealogy, schema)

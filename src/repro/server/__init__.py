@@ -1,0 +1,30 @@
+"""Network serving layer: co-existing schema versions over TCP.
+
+- :class:`ReproServer` / :func:`serve` — a threaded TCP server leasing
+  every client its own database session;
+- :func:`connect_remote` — the client driver, a drop-in replacement for
+  :func:`repro.connect` with the same PEP-249 surface;
+- :mod:`repro.server.protocol` — the length-prefixed JSON wire protocol.
+
+Quickstart (see ``docs/serving.md`` for the full story)::
+
+    server = repro.serve(engine, port=0, backend="sqlite")
+    conn = repro.connect_remote(*server.address, version="TasKy")
+    conn.execute("SELECT * FROM Task").fetchall()
+"""
+
+from repro.server.client import ConnectionLostError, RemoteConnection, RemoteCursor, connect_remote
+from repro.server.protocol import DEFAULT_PORT, PROTOCOL_VERSION, ProtocolError
+from repro.server.server import ReproServer, serve
+
+__all__ = [
+    "ReproServer",
+    "serve",
+    "connect_remote",
+    "RemoteConnection",
+    "RemoteCursor",
+    "ConnectionLostError",
+    "ProtocolError",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+]

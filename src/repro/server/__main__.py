@@ -1,0 +1,100 @@
+"""``python -m repro.server`` — stand up a repro server from a BiDEL script.
+
+::
+
+    python -m repro.server --script schema.bidel --database state.db
+
+builds an engine, executes the script (every ``CREATE SCHEMA VERSION`` /
+``MATERIALIZE`` in it), attaches the live SQLite backend when
+``--database`` is given, and serves until interrupted.  Without
+``--script`` it serves the built-in TasKy demo catalog (three co-existing
+versions), which is handy for trying the client driver::
+
+    python -m repro.server --demo --port 7512
+    python - <<'EOF'
+    import repro
+    conn = repro.connect_remote("127.0.0.1", 7512, "TasKy")
+    print(conn.execute("SELECT * FROM Task").fetchall())
+    EOF
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.core.engine import InVerDa
+from repro.server.protocol import DEFAULT_PORT
+from repro.server.server import ReproServer
+
+
+def build_engine(args) -> InVerDa:
+    if args.script:
+        with open(args.script, encoding="utf-8") as f:
+            script = f.read()
+        engine = InVerDa()
+        engine.execute(script)
+        return engine
+    from repro.workloads.tasky import build_tasky
+
+    return build_tasky(args.demo_rows).engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve co-existing schema versions over TCP.",
+    )
+    parser.add_argument("--script", help="BiDEL script building the schema catalog")
+    parser.add_argument(
+        "--demo", action="store_true", help="serve the TasKy demo catalog instead"
+    )
+    parser.add_argument(
+        "--demo-rows", type=int, default=100, help="rows in the demo data set"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--database",
+        help="SQLite file for the live backend (omitted: in-memory engine)",
+    )
+    parser.add_argument("--pool-size", type=int, default=8)
+    parser.add_argument("--max-sessions", type=int, default=None)
+    parser.add_argument("--busy-timeout", type=float, default=5.0)
+    parser.add_argument("--page-size", type=int, default=256)
+    args = parser.parse_args(argv)
+    if not args.script and not args.demo:
+        parser.error("one of --script or --demo is required")
+
+    engine = build_engine(args)
+    backend = None
+    if args.database:
+        backend = LiveSqliteBackend.attach(
+            engine,
+            database=args.database,
+            pool_size=args.pool_size,
+            max_sessions=args.max_sessions,
+            busy_timeout=args.busy_timeout,
+        )
+    server = ReproServer(
+        engine, args.host, args.port, backend=backend, page_size=args.page_size
+    ).start()
+    host, port = server.address
+    print(f"repro server listening on {host}:{port}", flush=True)
+    print(f"serving versions: {', '.join(engine.version_names())}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.close()
+        if backend is not None:
+            backend.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

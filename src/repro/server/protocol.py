@@ -1,0 +1,186 @@
+"""The wire protocol of the network serving layer.
+
+A connection is a plain TCP byte stream carrying **frames**: each frame is
+a 4-byte big-endian unsigned length followed by that many bytes of UTF-8
+JSON — one JSON object per frame.  Requests and responses are both frames;
+the server processes a connection's requests strictly in order and sends
+exactly one response per request, so a client may **pipeline** (write many
+request frames before reading any response) and match responses to
+requests positionally or by the echoed ``id``.
+
+Requests are objects ``{"id": <int>, "op": <str>, ...}``; responses are
+``{"id": <int>, "ok": true, ...}`` on success and
+
+.. code-block:: json
+
+    {"id": 7, "ok": false,
+     "error": {"code": "ProgrammingError", "message": "no table 'Tsak'"}}
+
+on failure.  ``code`` is the name of an exception class from
+:mod:`repro.errors` (plus :class:`ProtocolError`); the client driver
+re-raises the matching class, so remote failures surface exactly like
+in-process ones.  The full message catalog lives in ``docs/serving.md``.
+
+Values (statement parameters and result rows) travel as JSON, which
+restricts them to ``None``, ``bool``, ``int``, ``float``, and ``str`` —
+exactly the repro type system.  Rows arrive as JSON arrays; the client
+driver converts them back to the tuples PEP 249 promises.
+
+Framing errors are unrecoverable: after a frame that is not valid JSON,
+exceeds :data:`MAX_FRAME_BYTES`, or is truncated, the stream position is
+unknowable, so both sides answer with a best-effort ``ProtocolError``
+response and drop the connection rather than resynchronise.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+import repro.errors as _errors
+from repro.errors import OperationalError, ReproError
+from repro.relational.types import DataType
+
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``python -m repro.server`` (unassigned by IANA).
+DEFAULT_PORT = 7512
+
+#: Hard ceiling on a single frame; a length prefix beyond this is treated
+#: as garbage (a malformed or hostile stream), not as a huge allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: How many rows ride along in an ``execute`` response / ``fetch`` page
+#: unless the client asks otherwise.
+DEFAULT_PAGE_SIZE = 256
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """The byte stream violated the framing or message rules."""
+
+
+def write_frame(wfile: BinaryIO, message: dict) -> None:
+    """Serialize ``message`` and write one length-prefixed frame."""
+    try:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    wfile.write(_HEADER.pack(len(payload)) + payload)
+    wfile.flush()
+
+
+def _read_exact(rfile: BinaryIO, n: int) -> bytes | None:
+    """``n`` bytes, or ``None`` on EOF at a frame boundary; raises on a
+    mid-frame EOF (the peer vanished between header and body)."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"stream truncated: expected {n} bytes, got {n - remaining}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(rfile: BinaryIO) -> dict | None:
+    """The next frame's message, or ``None`` on a clean EOF."""
+    header = _read_exact(rfile, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); treating the stream as corrupt"
+        )
+    body = _read_exact(rfile, length)
+    if body is None:
+        raise ProtocolError("stream truncated: frame header without a body")
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must carry a JSON object, got {type(message).__name__}")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Error marshalling
+# ---------------------------------------------------------------------------
+
+#: Every error class a response may name, by its wire code.
+ERROR_CODES: dict[str, type[Exception]] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+ERROR_CODES["ProtocolError"] = ProtocolError
+
+
+def error_response(request_id: Any, exc: BaseException) -> dict:
+    code = type(exc).__name__
+    if code not in ERROR_CODES:  # an unexpected non-repro failure
+        code = "OperationalError"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": str(exc)},
+    }
+
+
+def exception_from(error: dict) -> Exception:
+    """Rebuild the exception a failure response describes."""
+    cls = ERROR_CODES.get(str(error.get("code")), OperationalError)
+    return cls(str(error.get("message", "unknown server error")))
+
+
+def rows_to_wire(rows: list[tuple]) -> list[list]:
+    return [list(row) for row in rows]
+
+
+def rows_from_wire(rows: list) -> list[tuple]:
+    return [tuple(row) for row in rows]
+
+
+def description_to_wire(description) -> list[list] | None:
+    """Cursor description with ``DataType`` type codes as their names."""
+    if description is None:
+        return None
+    out = []
+    for column in description:
+        column = list(column)
+        if len(column) > 1 and isinstance(column[1], DataType):
+            column[1] = column[1].value
+        out.append(column)
+    return out
+
+
+def description_from_wire(description) -> tuple[tuple, ...] | None:
+    """Inverse of :func:`description_to_wire`: type-code names become
+    :class:`DataType` members again, so both transports describe results
+    identically."""
+    if description is None:
+        return None
+    out = []
+    for column in description:
+        column = list(column)
+        if len(column) > 1 and isinstance(column[1], str):
+            try:
+                column[1] = DataType(column[1])
+            except ValueError:
+                pass  # an opaque non-DataType type code stays a string
+        out.append(tuple(column))
+    return tuple(out)

@@ -7,6 +7,18 @@ literal: the client speaks SQL, the engine routes every statement through
 the generated mapping logic so writes surface (correctly transformed) in
 every other co-existing version.
 
+The module defines the access layer twice over:
+
+- :class:`BaseConnection` / :class:`BaseCursor` — the transport-independent
+  DB-API core (cursor buffering and fetch semantics, context-manager
+  transaction scopes, closed-state checks that name the offending method).
+  Both the in-process transport below and the network transport in
+  :mod:`repro.server.client` subclass these, so the two surfaces cannot
+  drift apart.
+- :class:`Connection` / :class:`Cursor` — the in-process transport:
+  statements are parsed and planned in the caller's process, directly
+  against the engine (or its live SQLite backend).
+
 Transactions
 ------------
 
@@ -114,54 +126,258 @@ def _translated_errors():
         raise OperationalError(str(exc)) from exc
 
 
-class Cursor:
-    """A DB-API cursor bound to its connection's schema version."""
+# ---------------------------------------------------------------------------
+# Transport-independent DB-API core
+# ---------------------------------------------------------------------------
 
-    def __init__(self, connection: "Connection"):
+
+class BaseCursor:
+    """The transport-independent half of a DB-API cursor.
+
+    Subclasses implement :meth:`execute` / :meth:`executemany` (filling the
+    row buffer via :meth:`_install_result`) and, for paged transports,
+    :meth:`_fetch_more`.  Fetch semantics, iteration, and closed-state
+    checks live here so every transport behaves identically.
+    """
+
+    def __init__(self, connection: "BaseConnection"):
         self._connection = connection
         self._closed = False
-        self._result = StatementResult()
-        self._cursor_index = 0
         self.arraysize = 1
+        self._description: tuple[tuple, ...] | None = None
+        self._rowcount = -1
+        self._lastrowid: int | None = None
+        self._buffer: list[tuple] = []  # fetched rows
+        self._pos = 0  # next unconsumed row in the buffer (O(1) fetchone)
+        self._exhausted = True  # no further rows beyond the buffer
 
     # -- metadata ----------------------------------------------------------
 
     @property
-    def connection(self) -> "Connection":
+    def connection(self) -> "BaseConnection":
         return self._connection
 
     @property
     def description(self) -> tuple[tuple, ...] | None:
-        return self._result.description
+        return self._description
 
     @property
     def rowcount(self) -> int:
-        return self._result.rowcount
+        return self._rowcount
 
     @property
     def lastrowid(self) -> int | None:
-        return self._result.lastrowid
+        return self._lastrowid
+
+    @property
+    def rows_pending(self) -> bool:
+        """Whether further ``fetch*`` calls can still return rows (the
+        network server uses this to decide if a statement needs paging)."""
+        return self._pos < len(self._buffer) or not self._exhausted
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         self._closed = True
-        self._result = StatementResult()
+        self._install_result(StatementResult())
 
-    def _check_open(self) -> "Connection":
+    def _check_open(self, operation: str) -> "BaseConnection":
+        """Fail with the *offending method's name* when closed."""
         if self._closed:
-            raise InterfaceError("cannot operate on a closed cursor")
+            raise InterfaceError(f"{operation}(): cannot operate on a closed cursor")
         connection = self._connection
-        connection._check_open()
+        connection._check_open(operation)
         return connection
+
+    def _install_result(self, result: StatementResult, *, exhausted: bool = True) -> None:
+        self._description = result.description
+        self._rowcount = result.rowcount
+        self._lastrowid = result.lastrowid
+        self._buffer = list(result.rows)
+        self._pos = 0
+        self._exhausted = exhausted
+
+    # -- execution (transport-specific) ------------------------------------
+
+    def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> "BaseCursor":
+        raise NotImplementedError
+
+    def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> "BaseCursor":
+        raise NotImplementedError
+
+    # -- fetching ----------------------------------------------------------
+
+    def _fetch_more(self, size: int) -> list[tuple]:
+        """Pull up to ``size`` further rows from the transport.  The
+        in-process transport buffers complete results, so the default is
+        empty; the network transport pages rows from the server here."""
+        return []
+
+    def _remaining(self) -> int:
+        return len(self._buffer) - self._pos
+
+    def _compact(self) -> None:
+        """Release consumed rows once they are at least half the buffer:
+        amortized O(1) per row, so paged consumers (the network server
+        streaming a result to a slow client) hold at most ~2x the
+        *remaining* rows in memory, never the full result."""
+        if self._pos and self._pos * 2 >= len(self._buffer):
+            del self._buffer[: self._pos]
+            self._pos = 0
+
+    def _refill(self, want: int) -> None:
+        if self._exhausted or self._remaining() >= want:
+            return
+        if self._pos:  # drop consumed rows before growing the buffer
+            del self._buffer[: self._pos]
+            self._pos = 0
+        while not self._exhausted and len(self._buffer) < want:
+            page = self._fetch_more(max(want - len(self._buffer), 1))
+            if not page:
+                self._exhausted = True
+                break
+            self._buffer.extend(page)
+
+    def fetchone(self) -> tuple | None:
+        self._check_open("fetchone")
+        self._refill(1)
+        if self._pos >= len(self._buffer):
+            return None
+        row = self._buffer[self._pos]
+        self._pos += 1
+        self._compact()
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        self._check_open("fetchmany")
+        if size is None:
+            size = self.arraysize
+        size = max(size, 0)  # a negative size must never rewind the cursor
+        self._refill(size)
+        rows = self._buffer[self._pos : self._pos + size]
+        self._pos += len(rows)
+        self._compact()
+        return rows
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open("fetchall")
+        while not self._exhausted:
+            page = self._fetch_more(max(self.arraysize, 1))
+            if not page:
+                break
+            self._buffer.extend(page)
+        self._exhausted = True
+        rows = self._buffer[self._pos :]
+        self._buffer = []
+        self._pos = 0
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        while (row := self.fetchone()) is not None:
+            yield row
+
+    # -- PEP 249 no-ops ----------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:  # noqa: D102 - PEP 249
+        pass
+
+    def setoutputsize(self, size, column=None) -> None:  # noqa: D102 - PEP 249
+        pass
+
+
+class BaseConnection:
+    """The transport-independent half of a DB-API connection.
+
+    Subclasses provide :meth:`cursor`, :meth:`commit`, :meth:`rollback`,
+    :meth:`close`, the :attr:`in_transaction` property, and
+    :meth:`_enter_scope` (open the explicit transaction of a ``with``
+    block).  The shared surface — execute shortcuts, context-manager
+    semantics, closed-state checks naming the offending method — lives
+    here.
+    """
+
+    def __init__(self, *, autocommit: bool = False):
+        self.autocommit = autocommit
+        self._closed = False
+        self._with_depth = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise InterfaceError(
+                f"{operation}(): cannot operate on a closed connection"
+            )
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def cursor(self) -> BaseCursor:
+        raise NotImplementedError
+
+    # -- statement shortcuts -----------------------------------------------
+
+    def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> BaseCursor:
+        """Shortcut: a fresh cursor with ``operation`` already executed."""
+        self._check_open("execute")
+        return self.cursor().execute(operation, parameters)
+
+    def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> BaseCursor:
+        self._check_open("executemany")
+        return self.cursor().executemany(operation, seq_of_parameters)
+
+    # -- transactions ------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        raise NotImplementedError
+
+    def rollback(self) -> None:
+        raise NotImplementedError
+
+    def _enter_scope(self) -> None:
+        """Open the explicit transaction scope of a ``with`` block."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "BaseConnection":
+        self._check_open("__enter__")
+        self._with_depth += 1
+        self._enter_scope()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._with_depth -= 1
+        if self._with_depth == 0 and not self._closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# In-process transport
+# ---------------------------------------------------------------------------
+
+
+class Cursor(BaseCursor):
+    """A DB-API cursor bound to its connection's schema version."""
+
+    _connection: "Connection"
 
     # -- execution ---------------------------------------------------------
 
     def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> "Cursor":
         """Execute one SQL statement (or a BiDEL DDL script)."""
-        connection = self._check_open()
-        self._result = StatementResult()
-        self._cursor_index = 0
+        connection = self._check_open("execute")
+        self._install_result(StatementResult())
         statement = parse_statement(operation)
         params = _normalize_params(parameters, statement.param_count)
         if isinstance(statement, BidelStatement):
@@ -178,11 +394,11 @@ class Cursor:
         with connection.engine.catalog_lock.read_locked():
             if isinstance(statement, Select):
                 with _translated_errors():
-                    self._result = connection._execute_planned(statement, params)
+                    self._install_result(connection._execute_planned(statement, params))
                 connection.engine.workload.record_read(connection.version_name)
                 return self
             with connection._write_scope(), _translated_errors():
-                self._result = connection._execute_planned(statement, params)
+                self._install_result(connection._execute_planned(statement, params))
         connection.engine.workload.record_write(connection.version_name)
         return self
 
@@ -197,9 +413,8 @@ class Cursor:
         atomic scope. Either way, an error in the middle of the batch
         undoes the whole batch.
         """
-        connection = self._check_open()
-        self._result = StatementResult()
-        self._cursor_index = 0
+        connection = self._check_open("executemany")
+        self._install_result(StatementResult())
         statement = parse_statement(operation)
         if isinstance(statement, (Select, BidelStatement)):
             raise ProgrammingError("executemany() only accepts DML statements")
@@ -223,7 +438,7 @@ class Cursor:
                     total += max(result.rowcount, 0)
                     if result.lastrowid is not None:
                         lastrowid = result.lastrowid
-        self._result = StatementResult(rowcount=total, lastrowid=lastrowid)
+        self._install_result(StatementResult(rowcount=total, lastrowid=lastrowid))
         connection.engine.workload.record_write(
             connection.version_name, len(seq_of_parameters)
         )
@@ -245,50 +460,13 @@ class Cursor:
                 )
                 mappings.extend(row_mappings)
             keys = insert_rows(connection.engine, tv, mappings) if tv is not None else []
-        self._result = StatementResult(
-            rowcount=len(keys), lastrowid=keys[-1] if keys else None
+        self._install_result(
+            StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
         )
         return self
 
-    # -- fetching ----------------------------------------------------------
 
-    def fetchone(self) -> tuple | None:
-        self._check_open()
-        if self._cursor_index >= len(self._result.rows):
-            return None
-        row = self._result.rows[self._cursor_index]
-        self._cursor_index += 1
-        return row
-
-    def fetchmany(self, size: int | None = None) -> list[tuple]:
-        self._check_open()
-        if size is None:
-            size = self.arraysize
-        size = max(size, 0)  # a negative size must never rewind the cursor
-        start = self._cursor_index
-        self._cursor_index = min(start + size, len(self._result.rows))
-        return self._result.rows[start : self._cursor_index]
-
-    def fetchall(self) -> list[tuple]:
-        self._check_open()
-        start = self._cursor_index
-        self._cursor_index = len(self._result.rows)
-        return self._result.rows[start:]
-
-    def __iter__(self) -> Iterator[tuple]:
-        while (row := self.fetchone()) is not None:
-            yield row
-
-    # -- PEP 249 no-ops ----------------------------------------------------
-
-    def setinputsizes(self, sizes) -> None:  # noqa: D102 - PEP 249
-        pass
-
-    def setoutputsize(self, size, column=None) -> None:  # noqa: D102 - PEP 249
-        pass
-
-
-class Connection:
+class Connection(BaseConnection):
     """A DB-API connection to one co-existing schema version."""
 
     def __init__(
@@ -299,9 +477,9 @@ class Connection:
         autocommit: bool = False,
         backend: "LiveSqliteBackend | None" = None,
     ):
+        super().__init__(autocommit=autocommit)
         self.engine = engine
         self._version = version
-        self.autocommit = autocommit
         self._backend = backend
         # On the live backend every connection leases its own session — a
         # pooled sqlite3 handle with real per-session transactions.
@@ -309,8 +487,6 @@ class Connection:
             backend.open_session() if backend is not None else None
         )
         self._txn: _Transaction | None = None
-        self._with_depth = 0
-        self._closed = False
 
     # -- metadata ----------------------------------------------------------
 
@@ -369,10 +545,6 @@ class Connection:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _check_open(self) -> None:
-        if self._closed:
-            raise InterfaceError("cannot operate on a closed connection")
-
     def close(self) -> None:
         """Roll back any open transaction, release the backend session
         back to the pool, and close the connection."""
@@ -393,17 +565,8 @@ class Connection:
     # -- cursors -----------------------------------------------------------
 
     def cursor(self) -> Cursor:
-        self._check_open()
+        self._check_open("cursor")
         return Cursor(self)
-
-    def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> Cursor:
-        """Shortcut: a fresh cursor with ``operation`` already executed."""
-        return self.cursor().execute(operation, parameters)
-
-    def executemany(
-        self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
-    ) -> Cursor:
-        return self.cursor().executemany(operation, seq_of_parameters)
 
     # -- transactions ------------------------------------------------------
 
@@ -433,7 +596,7 @@ class Connection:
 
     def commit(self) -> None:
         """End the current transaction, keeping its writes."""
-        self._check_open()
+        self._check_open("commit")
         if self._txn is None:
             return
         if self._session is not None:
@@ -450,7 +613,7 @@ class Connection:
     def rollback(self) -> None:
         """Undo every write of the current transaction — including its
         propagated effects in all other schema versions."""
-        self._check_open()
+        self._check_open("rollback")
         if self._txn is None:
             return
         if self._session is not None:
@@ -477,7 +640,7 @@ class Connection:
         Opens the implicit transaction when not in autocommit mode, then
         guards the statement with a savepoint so a failure mid-statement
         (or mid-executemany-batch) never leaves partial effects behind."""
-        self._check_open()
+        self._check_open("execute")
         if not self.autocommit:
             self._begin()
         if self._session is not None:
@@ -526,21 +689,9 @@ class Connection:
                     # rollback cannot erase a self-committed write.
                     del engine._undo_log[mark:]
 
-    def __enter__(self) -> "Connection":
-        self._check_open()
-        self._with_depth += 1
+    def _enter_scope(self) -> None:
         with self.engine.catalog_lock.read_locked():
             self._begin()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self._with_depth -= 1
-        if self._with_depth == 0 and not self._closed:
-            if exc_type is None:
-                self.commit()
-            else:
-                self.rollback()
-        return False
 
 
 def _resolve_backend(engine: "InVerDa", backend) -> "LiveSqliteBackend | None":
@@ -584,6 +735,15 @@ def connect(
     views and INSTEAD OF triggers serve reads and writes inside SQLite.
     The default is the engine's attached backend, if any, else memory.
     """
+    schema_version = resolve_schema_version(engine, version)
+    resolved = _resolve_backend(engine, backend)
+    return Connection(engine, schema_version, autocommit=autocommit, backend=resolved)
+
+
+def resolve_schema_version(engine: "InVerDa", version: str | None) -> SchemaVersion:
+    """Resolve ``version`` (or the sole active version when ``None``) to
+    its :class:`SchemaVersion`; shared by both transports' connects.
+    Unknown names surface as :class:`InterfaceError`."""
     if version is None:
         names = engine.version_names()
         if len(names) != 1:
@@ -593,8 +753,11 @@ def connect(
             )
         version = names[0]
     try:
-        schema_version = engine.genealogy.schema_version(version)
+        return engine.genealogy.schema_version(version)
     except CatalogError as exc:
         raise InterfaceError(str(exc)) from exc
-    resolved = _resolve_backend(engine, backend)
-    return Connection(engine, schema_version, autocommit=autocommit, backend=resolved)
+
+
+def resolve_version_name(engine: "InVerDa", version: str | None) -> str:
+    """Like :func:`resolve_schema_version`, returning just the name."""
+    return resolve_schema_version(engine, version).name

@@ -1,0 +1,34 @@
+"""Fixtures for the network serving layer: live servers on ephemeral ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.server import ReproServer
+from repro.workloads.tasky import build_tasky
+
+
+@pytest.fixture
+def tasky_server():
+    """(scenario, server) — the three-version TasKy catalog served over TCP
+    from the in-memory engine."""
+    scenario = build_tasky(20, seed=7)
+    server = ReproServer(scenario.engine).start()
+    yield scenario, server
+    server.close()
+
+
+@pytest.fixture
+def wal_server(tmp_path):
+    """(scenario, server, backend) — TasKy on a file-backed WAL SQLite
+    backend, served over TCP: every client leases a pooled session."""
+    from repro.backend.sqlite import LiveSqliteBackend
+
+    scenario = build_tasky(20, seed=7)
+    backend = LiveSqliteBackend.attach(
+        scenario.engine, database=str(tmp_path / "tasky.db"), pool_size=8
+    )
+    server = ReproServer(scenario.engine).start()
+    yield scenario, server, backend
+    server.close()
+    backend.close()

@@ -1,0 +1,121 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import (
+    InterfaceError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.relational.types import DataType
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+def round_trip(message: dict) -> dict:
+    buffer = io.BytesIO()
+    protocol.write_frame(buffer, message)
+    buffer.seek(0)
+    return protocol.read_frame(buffer)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "execute", "sql": "SELECT 1", "params": [1, "a", None, 2.5]}
+        assert round_trip(message) == message
+
+    def test_multiple_frames_in_one_stream(self):
+        buffer = io.BytesIO()
+        protocol.write_frame(buffer, {"id": 1})
+        protocol.write_frame(buffer, {"id": 2})
+        buffer.seek(0)
+        assert protocol.read_frame(buffer) == {"id": 1}
+        assert protocol.read_frame(buffer) == {"id": 2}
+        assert protocol.read_frame(buffer) is None  # clean EOF
+
+    def test_empty_stream_is_clean_eof(self):
+        assert protocol.read_frame(io.BytesIO()) is None
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            protocol.read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_body(self):
+        buffer = io.BytesIO(struct.pack(">I", 100) + b'{"id": 1}')
+        with pytest.raises(ProtocolError, match="truncated"):
+            protocol.read_frame(buffer)
+
+    def test_body_not_json(self):
+        body = b"certainly not json"
+        buffer = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.read_frame(buffer)
+
+    def test_body_not_an_object(self):
+        body = b"[1, 2, 3]"
+        buffer = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.read_frame(buffer)
+
+    def test_oversized_header_rejected_without_allocation(self):
+        buffer = io.BytesIO(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.read_frame(buffer)
+
+    def test_unserializable_message_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON-serializable"):
+            protocol.write_frame(io.BytesIO(), {"x": object()})
+
+
+class TestErrorMarshalling:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ProgrammingError("no table 'Tsak'"),
+            OperationalError("version accepts no writes"),
+            InterfaceError("cursor(): cannot operate on a closed connection"),
+            ProtocolError("unknown op"),
+        ],
+    )
+    def test_known_errors_round_trip_by_class(self, exc):
+        payload = protocol.error_response(7, exc)
+        assert payload == {
+            "id": 7,
+            "ok": False,
+            "error": {"code": type(exc).__name__, "message": str(exc)},
+        }
+        rebuilt = protocol.exception_from(payload["error"])
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt) == str(exc)
+
+    def test_unexpected_exception_becomes_operational(self):
+        payload = protocol.error_response(1, RuntimeError("boom"))
+        assert payload["error"]["code"] == "OperationalError"
+        assert isinstance(protocol.exception_from(payload["error"]), OperationalError)
+
+    def test_unknown_code_becomes_operational(self):
+        exc = protocol.exception_from({"code": "NoSuchError", "message": "m"})
+        assert isinstance(exc, OperationalError)
+
+
+class TestValueMarshalling:
+    def test_rows_round_trip_as_tuples(self):
+        rows = [("Ann", 1, None, 2.5), ("Ben", 2, "x", 0.0)]
+        assert protocol.rows_from_wire(protocol.rows_to_wire(rows)) == rows
+
+    def test_description_type_codes_round_trip(self):
+        description = (
+            ("author", DataType.TEXT, None, None, None, None, None),
+            ("prio", DataType.INTEGER, None, None, None, None, None),
+            ("expr", None, None, None, None, None, None),
+        )
+        wire = protocol.description_to_wire(description)
+        assert wire[0][1] == "TEXT"  # JSON-safe on the wire
+        assert protocol.description_from_wire(wire) == description
+
+    def test_none_description(self):
+        assert protocol.description_to_wire(None) is None
+        assert protocol.description_from_wire(None) is None

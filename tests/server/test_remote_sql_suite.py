@@ -1,0 +1,91 @@
+"""Acceptance: the ``tests/sql/`` suites pass UNMODIFIED over the network.
+
+The transaction-semantics and cross-version round-trip test classes are
+re-collected here with an autouse fixture that reroutes ``repro.connect``
+through a live :class:`ReproServer`: every connection the tests open
+becomes a real TCP client with its own server-side session.  Nothing in
+the test bodies changes — that is the point: the remote transport is a
+drop-in replacement for the in-process one.
+
+A tiny page size is forced on every rerouted connection so the suites
+also exercise result paging on every multi-row fetch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.server.client import connect_remote
+from repro.server.server import ReproServer
+
+from tests.sql import test_cross_version as _cross_version
+from tests.sql import test_transactions as _transactions
+
+# Re-export the suites' own fixtures so the inherited tests find them in
+# this module, exactly as they do in theirs.
+scenario = _transactions.scenario
+engine = _cross_version.engine
+
+
+@pytest.fixture(autouse=True)
+def remote_transport(monkeypatch):
+    """Reroute ``repro.connect`` through a per-engine TCP server."""
+    servers: dict[int, ReproServer] = {}
+
+    def connect_via_server(target_engine, version=None, *, autocommit=False, backend=None):
+        server = servers.get(id(target_engine))
+        if server is None:
+            server = ReproServer(target_engine).start()
+            servers[id(target_engine)] = server
+        return connect_remote(
+            *server.address,
+            version,
+            autocommit=autocommit,
+            backend=backend,
+            page_size=2,  # force paging through every multi-row result
+            timeout=30.0,
+        )
+
+    monkeypatch.setattr(repro, "connect", connect_via_server)
+    yield
+    for server in servers.values():
+        server.close()
+
+
+class TestImplicitTransactionsRemote(_transactions.TestImplicitTransactions):
+    pass
+
+
+class TestRollbackAcrossVersionsRemote(_transactions.TestRollbackAcrossVersions):
+    pass
+
+
+class TestWithBlocksRemote(_transactions.TestWithBlocks):
+    pass
+
+
+class TestBatchAtomicityRemote(_transactions.TestBatchAtomicity):
+    pass
+
+
+class TestDdlCommitsTransactionsRemote(_transactions.TestDdlCommitsTransactions):
+    pass
+
+
+class TestCloseSemanticsRemote(_transactions.TestCloseSemantics):
+    pass
+
+
+class TestReadTransformationRemote(_cross_version.TestReadTransformation):
+    pass
+
+
+class TestWriteThroughOneVersionVisibleInOthersRemote(
+    _cross_version.TestWriteThroughOneVersionVisibleInOthers
+):
+    pass
+
+
+class TestUnderEveryMaterializationRemote(_cross_version.TestUnderEveryMaterialization):
+    pass

@@ -1,0 +1,81 @@
+"""Closed-cursor / closed-connection errors must name the offending method.
+
+``InterfaceError: cannot operate on a closed connection`` tells a caller
+*what* broke but not *where*; every such error now leads with the method
+that was called, on both the in-process and the network transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import InterfaceError
+from repro.server.server import ReproServer
+from repro.workloads.tasky import build_tasky
+
+
+@pytest.fixture(params=["local", "remote"])
+def transport(request):
+    """A factory for fresh connections to a TasKy engine, per transport."""
+    scenario = build_tasky(5, seed=1)
+    if request.param == "local":
+        yield lambda **kw: repro.connect(scenario.engine, "TasKy", **kw)
+        return
+    with ReproServer(scenario.engine) as server:
+        from repro.server.client import connect_remote
+
+        yield lambda **kw: connect_remote(
+            *server.address, "TasKy", timeout=30.0, **kw
+        )
+
+
+CONNECTION_CALLS = [
+    ("cursor", lambda conn: conn.cursor()),
+    ("execute", lambda conn: conn.execute("SELECT * FROM Task")),
+    ("executemany", lambda conn: conn.executemany("DELETE FROM Task WHERE prio = ?", [(1,)])),
+    ("commit", lambda conn: conn.commit()),
+    ("rollback", lambda conn: conn.rollback()),
+    ("__enter__", lambda conn: conn.__enter__()),
+]
+
+CURSOR_CALLS = [
+    ("execute", lambda cur: cur.execute("SELECT * FROM Task")),
+    ("executemany", lambda cur: cur.executemany("DELETE FROM Task WHERE prio = ?", [(1,)])),
+    ("fetchone", lambda cur: cur.fetchone()),
+    ("fetchmany", lambda cur: cur.fetchmany(2)),
+    ("fetchall", lambda cur: cur.fetchall()),
+]
+
+
+class TestClosedConnection:
+    @pytest.mark.parametrize("name,call", CONNECTION_CALLS, ids=[n for n, _ in CONNECTION_CALLS])
+    def test_method_named_in_error(self, transport, name, call):
+        conn = transport()
+        conn.close()
+        with pytest.raises(InterfaceError, match=rf"{name}\(\).*closed connection"):
+            call(conn)
+
+    def test_double_close_is_silent(self, transport):
+        conn = transport()
+        conn.close()
+        conn.close()  # idempotent, no error
+
+
+class TestClosedCursor:
+    @pytest.mark.parametrize("name,call", CURSOR_CALLS, ids=[n for n, _ in CURSOR_CALLS])
+    def test_method_named_in_error(self, transport, name, call):
+        conn = transport(autocommit=True)
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(InterfaceError, match=rf"{name}\(\).*closed cursor"):
+            call(cur)
+        conn.close()
+
+    @pytest.mark.parametrize("name,call", CURSOR_CALLS, ids=[n for n, _ in CURSOR_CALLS])
+    def test_open_cursor_on_closed_connection_names_method(self, transport, name, call):
+        conn = transport(autocommit=True)
+        cur = conn.cursor()
+        conn.close()
+        with pytest.raises(InterfaceError, match=rf"{name}\(\).*closed connection"):
+            call(cur)
