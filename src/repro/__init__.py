@@ -24,7 +24,7 @@ from repro.errors import ReproError
 from repro.server import ReproServer, connect_remote, serve
 from repro.sql import Connection, Cursor, connect
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "InVerDa",

@@ -125,16 +125,36 @@ def scaffold_statements(engine) -> list[str]:
     return statements
 
 
-def view_statements(engine) -> list[str]:
+def view_statements(engine, *, flatten: bool = True) -> list[str]:
+    """One ``CREATE VIEW`` per active table version.
+
+    With ``flatten=True`` (the default) the rule-rendered SELECTs are
+    algebraically composed along the SMO chain by
+    :class:`~repro.backend.compose.ViewComposer`, so a version at chain
+    depth N is served by one shallow query instead of an N-deep view
+    sandwich; SMOs the composer cannot flatten (the hand-written FK/COND
+    views, over-budget unions) keep their nested view references."""
+    from repro.backend.compose import ViewComposer
+
     ctx = HandlerContext(engine)
+    composer = ViewComposer() if flatten else None
     statements = []
     for tv in active_table_versions(engine):
         route = route_for(engine, tv)
         if route is None:
             columns = ", ".join(["p", *qcols(tv.schema.column_names)])
             select = f"SELECT {columns} FROM {q(tv.data_table_name)}"
+            if composer is not None:
+                composer.register_physical(
+                    tv.view_name, tv.data_table_name, tv.schema.column_names
+                )
         else:
-            select = handler_for(ctx, route[0]).view_select(tv)
+            handler = handler_for(ctx, route[0])
+            select = handler.view_select(tv)
+            if composer is not None:
+                flat = composer.register(tv.view_name, handler.view_branches(tv))
+                if flat is not None:
+                    select = composer.sql(flat)
         statements.append(emit.create_view(tv.view_name, select))
     return statements
 

@@ -1,0 +1,386 @@
+"""Algebraic composition of rule-rendered views along the SMO chain.
+
+The naive delta code serves a table version at SMO-chain depth *N*
+through *N* nested ``CREATE VIEW``s.  SQLite expands views (and CTEs)
+textually per reference, so a chain whose levels are UNION-shaped (SPLIT,
+MERGE, virtualized ADD COLUMN, ...) doubles its reference count per level
+— at depth 16 the expansion needs 2^16 table references and cannot even
+be prepared, let alone served cheaply.  The composer turns the view stack
+back into what the paper promises: delta code *compiled once* into flat
+queries.
+
+Every rule-backed view is a UNION of :class:`~repro.sqlgen.views.ViewBranch`
+branches (select list + FROM entries + WHERE conjunction).  Composition
+works bottom-up along the dependency order the code generator already
+emits in:
+
+1. **Inlining** — a FROM entry that references an already-composed view
+   is replaced by that view's branches: the single-branch case merges
+   FROM lists and WHEREs and substitutes the child's select expressions
+   into the parent (classic view flattening); a multi-branch child is
+   distributed over the union, bounded by :data:`MAX_BRANCHES`.
+2. **EXISTS-merging** — branches whose select lists are identical over
+   the same scanned tables differ only in their predicates, so they
+   collapse into ONE branch whose WHERE is the disjunction, with each
+   branch's purely-filtering extra FROM entries rewritten to correlated
+   ``EXISTS`` subqueries (set-equivalent under UNION's set semantics).
+   This is what keeps SPLIT/MERGE chains *linear*: the union of
+   "rows satisfying the condition" and "rows pinned by the Rstar aux
+   table" becomes a single scan of the parent with an OR.
+
+Anything the composer cannot flatten — the hand-written FK/COND views,
+or a composition that would exceed the branch budget — simply keeps its
+view-name reference: the referenced view still exists and is itself
+composed, so the emitted stack stays shallow instead of deep.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from repro.sqlgen.views import ViewBranch
+from repro.util.naming import quote_identifier
+
+#: Composition budget: a view whose flattened form would exceed this many
+#: UNION branches keeps view-name references instead (nested fallback).
+MAX_BRANCHES = 8
+
+_SIMPLE_EXPR = re.compile(r'^[A-Za-z_]\w*\.(?:"[^"]+"|[A-Za-z_]\w*|p)$')
+_LITERAL_EXPR = re.compile(r"^(?:NULL|\d+|'[^']*')$")
+
+
+def _wrap(expr: str) -> str:
+    """Parenthesize a select expression unless it is an atomic reference
+    or literal (so substitution into an outer expression cannot change
+    precedence)."""
+    if _SIMPLE_EXPR.match(expr) or _LITERAL_EXPR.match(expr):
+        return expr
+    return f"({expr})"
+
+
+def _alias_pattern(alias: str) -> str:
+    return rf"(?<![\w\"]){re.escape(alias)}\."
+
+
+class ViewComposer:
+    """Bottom-up flattener over the code generator's view emission order."""
+
+    def __init__(self, max_branches: int = MAX_BRANCHES):
+        self.max_branches = max_branches
+        self._flat: dict[str, list[ViewBranch]] = {}
+        self._fresh = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Registration (called in dependency order)
+    # ------------------------------------------------------------------
+
+    def register_physical(
+        self, view_name: str, data_table: str, columns: tuple[str, ...]
+    ) -> list[ViewBranch]:
+        """A physical table version's pass-through view: composing through
+        it reaches the data table directly."""
+        alias = self._alias()
+        head = tuple(
+            (column, f"{alias}.{quote_identifier(column)}")
+            for column in ("p", *columns)
+        )
+        branches = [
+            ViewBranch(
+                head=head,
+                froms=((alias, quote_identifier(data_table)),),
+                where=(),
+            )
+        ]
+        self._flat[view_name] = branches
+        return branches
+
+    def register(
+        self, view_name: str, branches: list[ViewBranch] | None
+    ) -> list[ViewBranch] | None:
+        """Compose ``branches`` (a rule-backed view body) against every
+        already-registered view they reference; returns the flattened
+        branches, or ``None`` when the handler produced no structured form
+        (the view keeps its legacy nested body and stays opaque)."""
+        if branches is None:
+            return None
+        composed: list[ViewBranch] = []
+        for branch in branches:
+            composed.extend(self._compose_branch(self._refresh(branch)))
+        composed = self._merge(composed)
+        self._flat[view_name] = composed
+        return composed
+
+    def sql(self, branches: list[ViewBranch]) -> str:
+        return "\nUNION\n".join(branch.sql() for branch in branches)
+
+    # ------------------------------------------------------------------
+    # Alias hygiene
+    # ------------------------------------------------------------------
+
+    def _alias(self) -> str:
+        return f"f{next(self._fresh)}"
+
+    def _refresh(self, branch: ViewBranch) -> ViewBranch:
+        """Rename every FROM alias to a globally fresh name (rewriting all
+        references in head expressions and WHERE conjuncts), so merged
+        branch bodies can never collide."""
+        mapping = {alias: self._alias() for alias, _table in branch.froms}
+
+        def rewrite(text: str) -> str:
+            for old, new in sorted(mapping.items(), key=lambda i: -len(i[0])):
+                text = re.sub(_alias_pattern(old), f"{new}.", text)
+            return text
+
+        return ViewBranch(
+            head=tuple((column, rewrite(expr)) for column, expr in branch.head),
+            froms=tuple((mapping[alias], table) for alias, table in branch.froms),
+            where=tuple(rewrite(cond) for cond in branch.where),
+        )
+
+    # ------------------------------------------------------------------
+    # Inlining
+    # ------------------------------------------------------------------
+
+    def _compose_branch(self, branch: ViewBranch) -> list[ViewBranch]:
+        """Inline every FROM entry that references a composed view.
+        Multi-branch children distribute over the union; the budget guard
+        keeps a reference (nested fallback) instead of exploding."""
+        partials = [branch]
+        for alias, table in branch.froms:
+            children = self._flat.get(table)
+            if children is None:
+                continue
+            if len(partials) * len(children) > self.max_branches:
+                continue  # keep the view-name reference for this entry
+            partials = [
+                self._inline(partial, alias, child)
+                for partial in partials
+                for child in children
+            ]
+        return partials
+
+    def _inline(
+        self, outer: ViewBranch, alias: str, child: ViewBranch
+    ) -> ViewBranch:
+        child = self._refresh(child)
+        alternatives = {}
+        for column, expr in child.head:
+            alternatives[quote_identifier(column)] = _wrap(expr)
+            if column == "p":
+                alternatives["p"] = _wrap(expr)
+        pattern = re.compile(
+            rf"(?<![\w\"]){re.escape(alias)}\."
+            rf"(?P<col>{'|'.join(re.escape(c) for c in sorted(alternatives, key=len, reverse=True))})"
+            rf"(?![\w\"])"
+        )
+
+        def rewrite(text: str) -> str:
+            return pattern.sub(lambda m: alternatives[m.group("col")], text)
+
+        froms = []
+        for from_alias, table in outer.froms:
+            if from_alias == alias:
+                froms.extend(child.froms)
+            else:
+                froms.append((from_alias, table))
+        return ViewBranch(
+            head=tuple((column, rewrite(expr)) for column, expr in outer.head),
+            froms=tuple(froms),
+            where=tuple(rewrite(cond) for cond in outer.where) + child.where,
+        )
+
+    # ------------------------------------------------------------------
+    # EXISTS-merging
+    # ------------------------------------------------------------------
+
+    def _referenced_aliases(self, branch: ViewBranch, text: str) -> set[str]:
+        found = set()
+        for alias, _table in branch.froms:
+            if re.search(_alias_pattern(alias), text):
+                found.add(alias)
+        return found
+
+    def _split_froms(
+        self, branch: ViewBranch
+    ) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+        """(head-scanned entries, purely-filtering entries): an entry no
+        head expression references only filters, so it can move into a
+        correlated EXISTS without changing the branch's row set."""
+        head_text = " ".join(expr for _column, expr in branch.head)
+        used = self._referenced_aliases(branch, head_text)
+        scanned = [entry for entry in branch.froms if entry[0] in used]
+        extra = [entry for entry in branch.froms if entry[0] not in used]
+        return scanned, extra
+
+    def _conjuncts(
+        self, branch_froms, extra: list[tuple[str, str]], where: tuple[str, ...]
+    ) -> list[str]:
+        """The branch's predicate as conjuncts over its scanned entries:
+        purely-filtering FROM entries fold into one correlated ``EXISTS``
+        (with the conjuncts that referenced them inside its body)."""
+        extra_aliases = {alias for alias, _table in extra}
+        outer: list[str] = []
+        inner: list[str] = []
+        probe = ViewBranch(head=(), froms=tuple(branch_froms), where=())
+        for cond in where:
+            if self._referenced_aliases(probe, cond) & extra_aliases:
+                inner.append(cond)
+            else:
+                outer.append(cond)
+        if extra:
+            body = "SELECT 1 FROM " + ", ".join(
+                f"{table} {alias}" for alias, table in extra
+            )
+            if inner:
+                body += " WHERE " + " AND ".join(inner)
+            outer.append(f"EXISTS ({body})")
+        return outer
+
+    _ALIAS_TOKEN = re.compile(r"(?<![\w.\"])(?:f\d+|n|t\d+)(?![\w\"])")
+
+    def _canonical(self, text: str, fixed: dict[str, str] | None = None) -> str:
+        """Predicate text with generated aliases renumbered in order of
+        first appearance — lets two EXISTS probes over the same table be
+        recognized as equal regardless of alias spelling.  ``fixed`` pins
+        the group's scanned (outer) aliases to shared names, so probes
+        correlated against *different* outer entries never canonicalize
+        to the same text.  String literals are left untouched (an
+        alias-shaped word inside a constant must not alias-match), so
+        differing literals always compare unequal."""
+        seen: dict[str, str] = dict(fixed or {})
+
+        def rename(match: re.Match) -> str:
+            alias = match.group(0)
+            if alias not in seen:
+                seen[alias] = f"c{len(seen)}"
+            return seen[alias]
+
+        # Even-indexed segments are outside single-quoted literals ('' for
+        # an escaped quote toggles twice, preserving the parity).
+        segments = text.split("'")
+        for index in range(0, len(segments), 2):
+            segments[index] = self._ALIAS_TOKEN.sub(rename, segments[index])
+        return "'".join(segments)
+
+    def _is_tautology(
+        self, predicates: list[str], scanned: list[tuple[str, str]]
+    ) -> bool:
+        """True when the disjunction is provably always true: some branch
+        predicate is empty, or two branches are complementary EXISTS / NOT
+        EXISTS probes of the same subquery correlated against the same
+        outer entries (the shape projection-merged ADD/DROP COLUMN unions
+        collapse to)."""
+        fixed = {alias: f"o{i}" for i, (alias, _table) in enumerate(scanned)}
+        canon = [self._canonical(p, fixed) for p in predicates]
+        if any(p == "1" for p in canon):
+            return True
+        bare = set(canon)
+        return any(
+            p.startswith("NOT ") and self._canonical(p[len("NOT "):], fixed) in bare
+            for p in canon
+        )
+
+    def _merge(self, branches: list[ViewBranch]) -> list[ViewBranch]:
+        """Collapse branches that scan the same tables with the same select
+        list into one branch whose WHERE is the disjunction of the branch
+        predicates (set-equivalent under UNION).
+
+        Conjuncts shared by every merged branch — typically the already-
+        merged predicate of the child view they were all inlined from —
+        are factored out of the disjunction, so predicate text grows
+        linearly along an SMO chain instead of doubling per level."""
+        if len(branches) <= 1:
+            return branches
+        # group := [head, scanned froms, [member conjunct-lists], original]
+        groups: list[list] = []
+        for branch in branches:
+            scanned, extra = self._split_froms(branch)
+            if not scanned:
+                # No scanned anchor (head built purely from literals):
+                # leave the branch alone rather than risk a FROM-less
+                # select with a different cardinality.
+                groups.append([branch.head, None, [], branch])
+                continue
+            merged = False
+            for group in groups:
+                if group[1] is None:
+                    continue
+                mapping = self._match_scans(group[1], scanned)
+                if mapping is None:
+                    continue
+                if self._rename(branch.head, mapping) != group[0]:
+                    continue
+                renamed_where = tuple(
+                    self._rename_text(cond, mapping) for cond in branch.where
+                )
+                renamed_froms = [
+                    (mapping.get(alias, alias), table)
+                    for alias, table in branch.froms
+                ]
+                renamed_extra = [
+                    (mapping.get(alias, alias), table) for alias, table in extra
+                ]
+                group[2].append(
+                    self._conjuncts(renamed_froms, renamed_extra, renamed_where)
+                )
+                merged = True
+                break
+            if not merged:
+                groups.append(
+                    [
+                        branch.head,
+                        scanned,
+                        [self._conjuncts(branch.froms, extra, branch.where)],
+                        branch,
+                    ]
+                )
+        out: list[ViewBranch] = []
+        for head, scanned, members, original in groups:
+            if scanned is None or len(members) == 1:
+                out.append(original)
+                continue
+            # Factor conjuncts common to every member out of the OR.
+            common = [c for c in members[0] if all(c in m for m in members[1:])]
+            residuals = [
+                [c for c in member if c not in common] for member in members
+            ]
+            predicates = [
+                " AND ".join(residual) if residual else "1"
+                for residual in residuals
+            ]
+            where = list(common)
+            if not self._is_tautology(predicates, scanned):
+                where.append("((" + ") OR (".join(predicates) + "))")
+            out.append(
+                ViewBranch(head=head, froms=tuple(scanned), where=tuple(where))
+            )
+        return out
+
+    def _match_scans(
+        self,
+        anchor: list[tuple[str, str]],
+        candidate: list[tuple[str, str]],
+    ) -> dict[str, str] | None:
+        """Positional alias mapping between two scanned-entry lists over
+        the same table references, or ``None``."""
+        if len(anchor) != len(candidate):
+            return None
+        mapping = {}
+        for (anchor_alias, anchor_table), (alias, table) in zip(anchor, candidate):
+            if anchor_table != table:
+                return None
+            mapping[alias] = anchor_alias
+        return mapping
+
+    def _rename_text(self, text: str, mapping: dict[str, str]) -> str:
+        for old, new in sorted(mapping.items(), key=lambda i: -len(i[0])):
+            text = re.sub(_alias_pattern(old), f"{new}.", text)
+        return text
+
+    def _rename(
+        self, head: tuple[tuple[str, str], ...], mapping: dict[str, str]
+    ) -> tuple[tuple[str, str], ...]:
+        return tuple(
+            (column, self._rename_text(expr, mapping)) for column, expr in head
+        )

@@ -60,7 +60,7 @@ from repro.bidel.smo.vertical import (
 from repro.catalog.genealogy import SmoInstance, TableVersion
 from repro.errors import BackendError
 from repro.expr.ast import Expression
-from repro.sqlgen.views import select_sql_for_rules
+from repro.sqlgen.views import branches_for_rules, select_sql_for_rules
 
 # The engine draws every identifier (tuple ids and generated FK/condition
 # ids) from one global sequence; the backend mirrors that.
@@ -157,6 +157,13 @@ class SmoHandler:
         """SELECT body deriving ``tv``'s visible extent from the far side."""
         raise NotImplementedError
 
+    def view_branches(self, tv: TableVersion):
+        """Structured UNION branches of :meth:`view_select`, for the view
+        composer — or ``None`` when this SMO's view is hand-written SQL
+        the composer must treat as opaque (flattening then falls back to
+        referencing the generated view by name)."""
+        return None
+
     def write_statements(
         self, tv: TableVersion, op: str, *, apply_data: bool = True
     ) -> list[str]:
@@ -192,17 +199,30 @@ class SmoHandler:
 class RuleBackedHandler(SmoHandler):
     """Views from the SMO's instantiated Datalog rule sets."""
 
-    def view_select(self, tv: TableVersion) -> str:
+    def _view_rules(self, tv: TableVersion):
         if self.side_of(tv) == "source":
             rules = self.sem.gamma_src_rules()
         else:
             rules = self.sem.gamma_tgt_rules()
         if rules is None:
             raise BackendError(f"SMO {self.smo!r} has no rules for {tv!r}")
+        return rules
+
+    def view_select(self, tv: TableVersion) -> str:
         names, columns = self._role_tables()
         return select_sql_for_rules(
             self.role_of(tv),
-            rules,
+            self._view_rules(tv),
+            table_names=names,
+            table_columns=columns,
+            head_columns=tv.schema.column_names,
+        )
+
+    def view_branches(self, tv: TableVersion):
+        names, columns = self._role_tables()
+        return branches_for_rules(
+            self.role_of(tv),
+            self._view_rules(tv),
             table_names=names,
             table_columns=columns,
             head_columns=tv.schema.column_names,

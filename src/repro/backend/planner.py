@@ -131,17 +131,117 @@ def _max_param_index(expression) -> int:
     return highest
 
 
-def _params_for(where: Expression | None, params: tuple) -> tuple:
-    """sqlite3 requires exactly as many bindings as the statement's highest
-    ``?N``; a re-rendered WHERE-only statement uses a prefix of them."""
-    if where is None:
-        return ()
-    return params[: _max_param_index(where)]
+# ---------------------------------------------------------------------------
+# Compiled plans
+#
+# ``compile_statement_sqlite`` lowers a parsed statement ONCE — table
+# resolution, column validation, SQL rendering, ``description`` assembly —
+# into a plan object whose ``run()`` only binds parameters and executes.
+# The engine's :class:`~repro.sql.plancache.PlanCache` keeps plans across
+# statements, and sqlite3's per-connection statement cache (sized by the
+# pool's ``cached_statements`` knob) keeps the *prepared* form of each
+# plan's SQL per session, so a repeated statement costs two dictionary
+# lookups before SQLite runs it.
+# ---------------------------------------------------------------------------
 
 
-def execute_select(
-    session: "SqliteSession", version: SchemaVersion, stmt: Select, params: tuple
-) -> StatementResult:
+class SqliteSelectPlan:
+    kind = "select"
+
+    def __init__(self, sql: str, description: tuple, param_count: int):
+        self.sql = sql
+        self.description = description
+        self.param_count = param_count
+
+    def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
+        rows = session.execute(self.sql, params).fetchall()
+        return StatementResult(
+            description=self.description, rows=rows, rowcount=len(rows)
+        )
+
+
+class SqliteInsertPlan:
+    kind = "insert"
+
+    def __init__(self, version: SchemaVersion, stmt: Insert, tv: "TableVersion"):
+        self.version = version
+        self.stmt = stmt
+        self.tv = tv
+        self.param_count = stmt.param_count
+        collist = ", ".join(["p", *qcols(tv.schema.column_names)])
+        placeholders = ", ".join("?" for _ in range(len(tv.schema.column_names) + 1))
+        self.insert_sql = (
+            f"INSERT INTO {tv.view_name} ({collist}) VALUES ({placeholders})"
+        )
+
+    def _rows(self, session: "SqliteSession", params: tuple) -> tuple[list, list]:
+        _tv, mappings = build_insert_mappings(self.version, self.stmt, params)
+        keys: list[int] = []
+        rows: list[tuple] = []
+        tv = self.tv
+        for values in mappings:
+            if tv.key_column is not None:
+                provided = values.get(tv.key_column)
+                key = int(provided) if provided is not None else session.allocate_key()
+                values = dict(values)
+                values[tv.key_column] = key
+            else:
+                key = session.allocate_key()
+            rows.append((key, *tv.schema.row_from_mapping(values)))
+            keys.append(key)
+        return keys, rows
+
+    def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
+        return self.run_many(session, [params])
+
+    def run_many(self, session: "SqliteSession", seq_of_params) -> StatementResult:
+        """One multi-row write for the whole batch (``seq_of_params`` rows
+        are already-normalized tuples): every parameter row's VALUES are
+        evaluated and keyed first, then a single ``executemany`` against
+        the generated view fires the INSTEAD OF trigger program per row
+        inside SQLite — no per-row re-planning in Python."""
+        keys: list[int] = []
+        rows: list[tuple] = []
+        for params in seq_of_params:
+            batch_keys, batch_rows = self._rows(session, params)
+            keys.extend(batch_keys)
+            rows.extend(batch_rows)
+        if rows:
+            session.cursor().executemany(self.insert_sql, rows)
+        return StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
+
+
+class SqliteUpdatePlan:
+    kind = "update"
+
+    def __init__(self, count_sql: str, dml_sql: str, where_params: int, param_count: int):
+        self.count_sql = count_sql
+        self.dml_sql = dml_sql
+        self.where_params = where_params
+        self.param_count = param_count
+
+    def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
+        count = int(
+            session.execute(self.count_sql, params[: self.where_params]).fetchone()[0]
+        )
+        if count:
+            session.execute(self.dml_sql, params)
+        return StatementResult(rowcount=count)
+
+
+class SqliteDeletePlan(SqliteUpdatePlan):
+    kind = "delete"
+
+    def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
+        count = int(
+            session.execute(self.count_sql, params[: self.where_params]).fetchone()[0]
+        )
+        if count:
+            session.execute(self.dml_sql, params[: self.where_params])
+        return StatementResult(rowcount=count)
+
+
+def compile_select(version: SchemaVersion, stmt: Select) -> SqliteSelectPlan:
     tv = resolve_table(version, stmt.table)
     items, description = _projection(tv, stmt.items)
     renderer = SqlRenderer(tv)
@@ -158,50 +258,19 @@ def execute_select(
         sql += f" LIMIT {renderer.render(stmt.limit)}"
         if stmt.offset is not None:
             sql += f" OFFSET {renderer.render(stmt.offset)}"
-    rows = session.execute(sql, params).fetchall()
-    return StatementResult(description=description, rows=rows, rowcount=len(rows))
+    return SqliteSelectPlan(sql, description, stmt.param_count)
 
 
-def execute_insert(
-    session: "SqliteSession", version: SchemaVersion, stmt: Insert, params: tuple
-) -> StatementResult:
-    tv, mappings = build_insert_mappings(version, stmt, params)
-    keys: list[int] = []
-    rows: list[tuple] = []
-    for values in mappings:
-        if tv.key_column is not None:
-            provided = values.get(tv.key_column)
-            key = int(provided) if provided is not None else session.allocate_key()
-            values = dict(values)
-            values[tv.key_column] = key
-        else:
-            key = session.allocate_key()
-        rows.append((key, *tv.schema.row_from_mapping(values)))
-        keys.append(key)
-    if rows:
-        collist = ", ".join(["p", *qcols(tv.schema.column_names)])
-        placeholders = ", ".join("?" for _ in range(len(tv.schema.column_names) + 1))
-        cursor = session.cursor()
-        cursor.executemany(
-            f"INSERT INTO {tv.view_name} ({collist}) VALUES ({placeholders})", rows
-        )
-    return StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
+def compile_insert(version: SchemaVersion, stmt: Insert) -> SqliteInsertPlan:
+    tv = resolve_table(version, stmt.table)
+    if stmt.columns is not None:
+        for name in stmt.columns:
+            if not tv.schema.has_column(name):
+                raise ProgrammingError(f"table {tv.name!r} has no column {name!r}")
+    return SqliteInsertPlan(version, stmt, tv)
 
 
-def _matched_count(
-    session: "SqliteSession",
-    tv: "TableVersion",
-    renderer: SqlRenderer,
-    where: Expression | None,
-    params: tuple,
-) -> int:
-    sql = f"SELECT COUNT(*) FROM {tv.view_name}" + _where_sql(renderer, where)
-    return int(session.execute(sql, _params_for(where, params)).fetchone()[0])
-
-
-def execute_update(
-    session: "SqliteSession", version: SchemaVersion, stmt: Update, params: tuple
-) -> StatementResult:
+def compile_update(version: SchemaVersion, stmt: Update) -> SqliteUpdatePlan:
     tv = resolve_table(version, stmt.table)
     renderer = SqlRenderer(tv)
     sets = []
@@ -214,37 +283,43 @@ def execute_update(
                 "identifier and cannot be updated"
             )
         sets.append(f"{q(name)} = {renderer.render(expression)}")
-    count = _matched_count(session, tv, renderer, stmt.where, params)
-    if count:
-        sql = f"UPDATE {tv.view_name} SET {', '.join(sets)}"
-        sql += _where_sql(renderer, stmt.where)
-        session.execute(sql, params)
-    return StatementResult(rowcount=count)
+    where_sql = _where_sql(renderer, stmt.where)
+    count_sql = f"SELECT COUNT(*) FROM {tv.view_name}" + where_sql
+    dml_sql = f"UPDATE {tv.view_name} SET {', '.join(sets)}" + where_sql
+    return SqliteUpdatePlan(
+        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count
+    )
 
 
-def execute_delete(
-    session: "SqliteSession", version: SchemaVersion, stmt: Delete, params: tuple
-) -> StatementResult:
+def compile_delete(version: SchemaVersion, stmt: Delete) -> SqliteDeletePlan:
     tv = resolve_table(version, stmt.table)
     renderer = SqlRenderer(tv)
-    count = _matched_count(session, tv, renderer, stmt.where, params)
-    if count:
-        sql = f"DELETE FROM {tv.view_name}" + _where_sql(renderer, stmt.where)
-        session.execute(sql, params)
-    return StatementResult(rowcount=count)
+    where_sql = _where_sql(renderer, stmt.where)
+    count_sql = f"SELECT COUNT(*) FROM {tv.view_name}" + where_sql
+    dml_sql = f"DELETE FROM {tv.view_name}" + where_sql
+    return SqliteDeletePlan(
+        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count
+    )
+
+
+def compile_statement_sqlite(version: SchemaVersion, stmt):
+    """Lower ``stmt`` to a reusable plan against ``version``'s views."""
+    if isinstance(stmt, Select):
+        return compile_select(version, stmt)
+    if isinstance(stmt, Insert):
+        return compile_insert(version, stmt)
+    if isinstance(stmt, Update):
+        return compile_update(version, stmt)
+    if isinstance(stmt, Delete):
+        return compile_delete(version, stmt)
+    if isinstance(stmt, BidelStatement):  # pragma: no cover - handled upstream
+        raise ProgrammingError("BiDEL DDL runs through the engine, not the backend")
+    raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")
 
 
 def execute_statement_sqlite(
     session: "SqliteSession", version: SchemaVersion, stmt, params: tuple
 ) -> StatementResult:
-    if isinstance(stmt, Select):
-        return execute_select(session, version, stmt, params)
-    if isinstance(stmt, Insert):
-        return execute_insert(session, version, stmt, params)
-    if isinstance(stmt, Update):
-        return execute_update(session, version, stmt, params)
-    if isinstance(stmt, Delete):
-        return execute_delete(session, version, stmt, params)
-    if isinstance(stmt, BidelStatement):  # pragma: no cover - handled upstream
-        raise ProgrammingError("BiDEL DDL runs through the engine, not the backend")
-    raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")
+    """Compile-and-run convenience (the cursor hot path caches the
+    compiled plan instead of calling this)."""
+    return compile_statement_sqlite(version, stmt).run(session, params)

@@ -61,6 +61,13 @@ class SessionPool:
       raises :class:`~repro.errors.OperationalError`.
     - ``busy_timeout`` — seconds a session waits on SQLite's write lock
       before a statement fails with "database is locked".
+    - ``cached_statements`` — size of sqlite3's per-connection prepared-
+      statement cache.  The statement hot path reuses one rendered SQL
+      text per cached plan, so a generous cache means repeated statements
+      skip SQLite's prepare entirely.
+    - ``plan_cache_stats`` — optional zero-argument callable returning the
+      engine's plan-cache counters; when set, :meth:`stats` folds them in
+      so one ``status`` round trip reports pool *and* cache health.
     """
 
     def __init__(
@@ -73,6 +80,8 @@ class SessionPool:
         max_sessions: int | None = None,
         busy_timeout: float = 5.0,
         acquire_timeout: float = 30.0,
+        cached_statements: int = 256,
+        plan_cache_stats=None,
     ):
         self.database = database
         self.uri = uri
@@ -81,6 +90,8 @@ class SessionPool:
         self.max_sessions = max_sessions
         self.busy_timeout = busy_timeout
         self.acquire_timeout = acquire_timeout
+        self.cached_statements = cached_statements
+        self.plan_cache_stats = plan_cache_stats
         self._idle: list[sqlite3.Connection] = []
         self._leased = 0
         self._closed = False
@@ -116,6 +127,7 @@ class SessionPool:
                 uri=self.uri,
                 check_same_thread=False,
                 timeout=self.busy_timeout,
+                cached_statements=self.cached_statements,
             )
         )
 
@@ -185,7 +197,7 @@ class SessionPool:
         """A consistent snapshot of the pool's sizing and occupancy — the
         numbers the network server's ``status`` op reports to clients."""
         with self._cond:
-            return {
+            payload = {
                 "database": self.database,
                 "wal": self.wal,
                 "leased": self._leased,
@@ -193,8 +205,12 @@ class SessionPool:
                 "pool_size": self.pool_size,
                 "max_sessions": self.max_sessions,
                 "busy_timeout": self.busy_timeout,
+                "cached_statements": self.cached_statements,
                 "closed": self._closed,
             }
+        if self.plan_cache_stats is not None:
+            payload["plan_cache"] = self.plan_cache_stats()
+        return payload
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -148,9 +148,10 @@ class SqliteSession:
 class LiveSqliteBackend:
     """A SQLite database serving reads *and* writes on every version."""
 
-    def __init__(self, engine: "InVerDa", pool: SessionPool):
+    def __init__(self, engine: "InVerDa", pool: SessionPool, *, flatten: bool = True):
         self.engine = engine
         self.pool = pool
+        self.flatten = flatten
         # The administrative handle: snapshot load, delta-code install,
         # migrations, and the engine-facing read helpers below.
         self.connection = pool.connect()
@@ -171,6 +172,8 @@ class LiveSqliteBackend:
         pool_size: int = 8,
         max_sessions: int | None = None,
         busy_timeout: float = 5.0,
+        cached_statements: int = 256,
+        flatten: bool = True,
     ) -> "LiveSqliteBackend":
         """Snapshot ``engine`` into SQLite, install the generated delta
         code, and register with the engine.
@@ -178,8 +181,14 @@ class LiveSqliteBackend:
         ``database=":memory:"`` (the default) serves all sessions from one
         shared-cache in-memory database; a file path opens (or creates)
         that file in WAL mode so concurrent readers scale.  ``pool_size``,
-        ``max_sessions``, and ``busy_timeout`` are passed through to the
-        :class:`~repro.backend.pool.SessionPool`.
+        ``max_sessions``, ``busy_timeout``, and ``cached_statements`` are
+        passed through to the :class:`~repro.backend.pool.SessionPool`.
+
+        ``flatten`` controls view emission: ``True`` (the default) emits
+        algebraically composed flat views (one shallow SELECT per table
+        version wherever the composer can flatten the SMO chain);
+        ``False`` emits the naive nested view stack, one view per SMO hop
+        (the fig16 benchmark's baseline).
         """
         if database == ":memory:":
             database, uri, wal = shared_memory_uri(), True, False
@@ -198,8 +207,10 @@ class LiveSqliteBackend:
             pool_size=pool_size,
             max_sessions=max_sessions,
             busy_timeout=busy_timeout,
+            cached_statements=cached_statements,
+            plan_cache_stats=engine.plan_cache.stats,
         )
-        backend = cls(engine, pool)
+        backend = cls(engine, pool, flatten=flatten)
         backend._load_snapshot()
         backend.regenerate()
         backend._run(codegen.repair_all_statements(engine))
@@ -298,7 +309,7 @@ class LiveSqliteBackend:
         try:
             self.drop_generated()
             self._run(codegen.scaffold_statements(self.engine))
-            self._run(codegen.view_statements(self.engine))
+            self._run(codegen.view_statements(self.engine, flatten=self.flatten))
             self._run(codegen.trigger_statements(self.engine))
         except BaseException:
             cursor.execute("ROLLBACK TO repro_regenerate")
@@ -309,7 +320,7 @@ class LiveSqliteBackend:
     def generated_sql(self) -> str:
         """The full delta-code script (for inspection and code metrics)."""
         return ";\n".join(
-            codegen.view_statements(self.engine)
+            codegen.view_statements(self.engine, flatten=self.flatten)
             + codegen.trigger_statements(self.engine)
         )
 

@@ -11,6 +11,7 @@ from repro.bench.experiments import (  # noqa: F401
     fig13,
     fig14,
     fig15,
+    fig16,
     table2,
     table3,
     table4,

@@ -145,9 +145,17 @@ class InVerDa:
         # is still held — listeners must be quick and must not execute
         # statements (they would deadlock on the read side).
         self._catalog_listeners: list = []
+        # Monotonic catalog generation: bumped under the write lock on
+        # every transition (evolution, MATERIALIZE, drop). Compiled
+        # statement plans are tagged with it, so a plan can never outlive
+        # the catalog it was lowered against.
+        self.catalog_generation = 0
         from repro.core.advisor import WorkloadRecorder
+        from repro.sql.plancache import PlanCache
 
         self.workload = WorkloadRecorder()
+        self.plan_cache = PlanCache()
+        self.add_catalog_listener(self.plan_cache.on_catalog_event)
 
     # ------------------------------------------------------------------
     # Execution backends
@@ -242,6 +250,7 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             version = self._create_schema_version(statement)
+            self.catalog_generation += 1
             self._notify_catalog("evolution", version=version.name)
             return version
 
@@ -351,6 +360,7 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             self._drop_schema_version(name)
+            self.catalog_generation += 1
             self._notify_catalog("drop", version=name)
 
     def _drop_schema_version(self, name: str) -> None:
@@ -759,6 +769,7 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             self._apply_materialization(schema)
+            self.catalog_generation += 1
             self._notify_catalog("materialize")
 
     def _apply_materialization(self, schema: frozenset[SmoInstance]) -> None:

@@ -209,6 +209,19 @@ class RemoteConnection(BaseConnection):
         reply = self._request({"op": "status"})
         return {k: v for k, v in reply.items() if k not in ("id", "ok")}
 
+    def stats(self) -> dict:
+        """Observability snapshot, mirroring the in-process
+        ``Connection.stats()``: the server's shared plan-cache counters
+        plus (on the live backend) its session pool occupancy."""
+        status = self.server_status()
+        payload = {
+            "backend": self._backend_name,
+            "plan_cache": status.get("plan_cache"),
+        }
+        if "pool" in status:
+            payload["pool"] = status["pool"]
+        return payload
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
         return f"<repro.server.RemoteConnection version={self._version_name!r} {state}>"

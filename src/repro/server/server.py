@@ -59,6 +59,10 @@ class _ClientHandler:
         self.version_dropped = False
         self._statements: dict[int, Any] = {}  # stmt_id -> open cursor
         self._stmt_counter = 0
+        # Wire-encoding memo for cursor descriptions: cached plans hand
+        # back the SAME description tuple for a repeated statement, so its
+        # JSON encoding is computed once per plan instead of per execute.
+        self._desc_memo: tuple[Any, Any] | None = None
         self.thread = threading.Thread(
             target=self._run, name=f"repro-client-{peer}", daemon=True
         )
@@ -219,11 +223,23 @@ class _ClientHandler:
             raise ProtocolError(f"page_size must be a positive integer, got {size!r}")
         return size
 
+    def _describe(self, description) -> Any:
+        """``description_to_wire``, memoized by tuple identity (the plan
+        cache reuses one description object per cached statement plan)."""
+        if description is None:
+            return protocol.description_to_wire(None)
+        memo = self._desc_memo
+        if memo is not None and memo[0] is description:
+            return memo[1]
+        wire = protocol.description_to_wire(description)
+        self._desc_memo = (description, wire)
+        return wire
+
     def _result_payload(self, cursor, request: dict) -> dict:
         page = self._page_size(request)
         rows = cursor.fetchmany(page)
         payload = {
-            "description": protocol.description_to_wire(cursor.description),
+            "description": self._describe(cursor.description),
             "rowcount": cursor.rowcount,
             "lastrowid": cursor.lastrowid,
             "rows": protocol.rows_to_wire(rows),
@@ -480,6 +496,7 @@ class ReproServer:
             "clients": clients,
             "versions": self.engine.version_names(),
             "page_size": self.page_size,
+            "plan_cache": self.engine.plan_cache.stats(),
         }
         if backend is not None:
             payload["pool"] = backend.pool.stats()

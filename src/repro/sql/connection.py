@@ -73,14 +73,10 @@ from repro.errors import (
     ProgrammingError,
     SchemaError,
 )
-from repro.sql.ast import BidelStatement, Insert, Select, SqlStatement
+from repro.sql.ast import BidelStatement, SqlStatement
 from repro.sql.parser import parse_statement
-from repro.sql.planner import (
-    StatementResult,
-    build_insert_mappings,
-    execute_statement,
-    insert_rows,
-)
+from repro.sql.plancache import DdlPlan
+from repro.sql.planner import StatementResult, compile_statement_memory
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backend.sqlite import LiveSqliteBackend, SqliteSession
@@ -375,31 +371,39 @@ class Cursor(BaseCursor):
     # -- execution ---------------------------------------------------------
 
     def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> "Cursor":
-        """Execute one SQL statement (or a BiDEL DDL script)."""
+        """Execute one SQL statement (or a BiDEL DDL script).
+
+        Statements are planned through the engine's shared
+        :class:`~repro.sql.plancache.PlanCache`: a repeated statement text
+        on the same version and backend skips parsing and planner lowering
+        entirely (plans are tagged with the catalog generation, so DDL on
+        any connection invalidates them)."""
         connection = self._check_open("execute")
         self._install_result(StatementResult())
-        statement = parse_statement(operation)
-        params = _normalize_params(parameters, statement.param_count)
-        if isinstance(statement, BidelStatement):
-            # DDL is not transactional: it implicitly commits EVERY open
-            # transaction. A journal kept across a migration would name
-            # physical tables the swap may drop, making rollback a lie.
-            # The engine takes the catalog write lock (quiescing every
-            # backend session) before touching the catalog.
-            connection.commit()
-            connection._force_end_transactions()
-            with _translated_errors():
-                connection.engine.execute(statement.text)
-            return self
-        with connection.engine.catalog_lock.read_locked():
-            if isinstance(statement, Select):
-                with _translated_errors():
-                    self._install_result(connection._execute_planned(statement, params))
-                connection.engine.workload.record_read(connection.version_name)
+        engine = connection.engine
+        with engine.catalog_lock.read_locked():
+            plan = connection._plan_for(operation)
+            if plan.kind != "ddl":
+                params = _normalize_params(parameters, plan.param_count)
+                if plan.kind == "select":
+                    with _translated_errors():
+                        self._install_result(connection._run_plan(plan, params))
+                    engine.workload.record_read(connection.version_name)
+                    return self
+                with connection._write_scope(), _translated_errors():
+                    self._install_result(connection._run_plan(plan, params))
+                engine.workload.record_write(connection.version_name)
                 return self
-            with connection._write_scope(), _translated_errors():
-                self._install_result(connection._execute_planned(statement, params))
-        connection.engine.workload.record_write(connection.version_name)
+        # BiDEL DDL runs outside the read scope: the engine takes the
+        # catalog write lock itself.  DDL is not transactional: it
+        # implicitly commits EVERY open transaction. A journal kept across
+        # a migration would name physical tables the swap may drop, making
+        # rollback a lie.
+        _normalize_params(parameters, plan.param_count)
+        connection.commit()
+        connection._force_end_transactions()
+        with _translated_errors():
+            engine.execute(plan.statement.text)
         return self
 
     def executemany(
@@ -407,61 +411,47 @@ class Cursor(BaseCursor):
     ) -> "Cursor":
         """Execute a DML statement once per parameter row, atomically.
 
-        On the in-memory engine, INSERTs are batched into a single change
-        set (one propagation pass through the version genealogy — the
-        bulk-load fast path); everything else runs row by row inside one
-        atomic scope. Either way, an error in the middle of the batch
-        undoes the whole batch.
+        The statement is planned ONCE (via the shared plan cache) and only
+        parameter binding varies per row.  INSERTs take a batched fast
+        path on both backends: the in-memory engine applies the whole
+        batch as a single change set (one propagation pass through the
+        version genealogy), the SQLite backend issues one multi-row
+        ``executemany`` against the generated view.  Everything else runs
+        row by row inside one atomic scope. Either way, an error in the
+        middle of the batch undoes the whole batch.
         """
         connection = self._check_open("executemany")
         self._install_result(StatementResult())
-        statement = parse_statement(operation)
-        if isinstance(statement, (Select, BidelStatement)):
-            raise ProgrammingError("executemany() only accepts DML statements")
+        engine = connection.engine
         seq_of_parameters = list(seq_of_parameters)
-        if isinstance(statement, Insert) and connection._backend is None:
-            with connection.engine.catalog_lock.read_locked():
-                cursor = self._executemany_insert(
-                    connection, statement, seq_of_parameters
+        with engine.catalog_lock.read_locked():
+            plan = connection._plan_for(operation)
+            if plan.kind in ("select", "ddl"):
+                raise ProgrammingError("executemany() only accepts DML statements")
+            if plan.kind == "insert":
+                normalized = [
+                    _normalize_params(parameters, plan.param_count)
+                    for parameters in seq_of_parameters
+                ]
+                with connection._write_scope(), _translated_errors():
+                    self._install_result(
+                        connection._run_plan_many(plan, normalized)
+                    )
+            else:
+                total = 0
+                lastrowid: int | None = None
+                with connection._write_scope(), _translated_errors():
+                    for parameters in seq_of_parameters:
+                        params = _normalize_params(parameters, plan.param_count)
+                        result = connection._run_plan(plan, params)
+                        total += max(result.rowcount, 0)
+                        if result.lastrowid is not None:
+                            lastrowid = result.lastrowid
+                self._install_result(
+                    StatementResult(rowcount=total, lastrowid=lastrowid)
                 )
-            connection.engine.workload.record_write(
-                connection.version_name, len(seq_of_parameters)
-            )
-            return cursor
-        total = 0
-        lastrowid: int | None = None
-        with connection.engine.catalog_lock.read_locked():
-            with connection._write_scope(), _translated_errors():
-                for parameters in seq_of_parameters:
-                    params = _normalize_params(parameters, statement.param_count)
-                    result = connection._execute_planned(statement, params)
-                    total += max(result.rowcount, 0)
-                    if result.lastrowid is not None:
-                        lastrowid = result.lastrowid
-        self._install_result(StatementResult(rowcount=total, lastrowid=lastrowid))
-        connection.engine.workload.record_write(
+        engine.workload.record_write(
             connection.version_name, len(seq_of_parameters)
-        )
-        return self
-
-    def _executemany_insert(
-        self,
-        connection: "Connection",
-        statement: Insert,
-        seq_of_parameters: Sequence[Sequence[Any]],
-    ) -> "Cursor":
-        with connection._write_scope(), _translated_errors():
-            tv = None
-            mappings: list[dict[str, Any]] = []
-            for parameters in seq_of_parameters:
-                params = _normalize_params(parameters, statement.param_count)
-                tv, row_mappings = build_insert_mappings(
-                    connection._version, statement, params
-                )
-                mappings.extend(row_mappings)
-            keys = insert_rows(connection.engine, tv, mappings) if tv is not None else []
-        self._install_result(
-            StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
         )
         return self
 
@@ -476,11 +466,13 @@ class Connection(BaseConnection):
         *,
         autocommit: bool = False,
         backend: "LiveSqliteBackend | None" = None,
+        plan_cache: bool = True,
     ):
         super().__init__(autocommit=autocommit)
         self.engine = engine
         self._version = version
         self._backend = backend
+        self._use_plan_cache = plan_cache
         # On the live backend every connection leases its own session — a
         # pooled sqlite3 handle with real per-session transactions.
         self._session: "SqliteSession | None" = (
@@ -513,7 +505,49 @@ class Connection(BaseConnection):
 
     # -- statement dispatch ------------------------------------------------
 
-    def _execute_planned(self, statement: SqlStatement, params: tuple) -> StatementResult:
+    def _plan_for(self, operation: str):
+        """The compiled plan for ``operation`` — from the engine's shared
+        plan cache when possible, else parsed and lowered now (and cached
+        for the next statement).  Must run under the catalog read lock so
+        the generation tag is stable while the plan is compiled and used."""
+        engine = self.engine
+        cache = engine.plan_cache if self._use_plan_cache else None
+        generation = engine.catalog_generation
+        key = (operation, self._version.name, self.backend_name)
+        if cache is not None:
+            plan = cache.get(key, generation)
+            if plan is not None:
+                self._check_data_plane(plan)
+                return plan
+        statement = parse_statement(operation)
+        with _translated_errors():
+            plan = self._compile(statement)
+        if cache is not None and plan.kind != "ddl":
+            # DDL executions bump the generation and clear the cache, so a
+            # DDL entry could never be hit again — don't churn LRU slots
+            # that could hold hot DML plans (re-parse is already cheap via
+            # the parser's own text cache).
+            cache.put(key, generation, plan)
+        return plan
+
+    def _check_data_plane(self, plan) -> None:
+        """A cached plan must honour the same guard a fresh compile does:
+        once a live backend owns the data plane, a connection still bound
+        to the in-memory snapshot may not serve (stale) data — only DDL,
+        which runs through the engine, is still allowed."""
+        if (
+            plan.kind != "ddl"
+            and self._session is None
+            and self.engine.live_backend is not None
+        ):
+            raise InterfaceError(
+                "connection was opened before a live execution backend "
+                "was attached; reconnect with backend='sqlite'"
+            )
+
+    def _compile(self, statement: SqlStatement):
+        if isinstance(statement, BidelStatement):
+            return DdlPlan(statement)
         if self._session is None:
             if self.engine.live_backend is not None:
                 # This connection predates the backend attach; its data
@@ -523,10 +557,31 @@ class Connection(BaseConnection):
                     "connection was opened before a live execution backend "
                     "was attached; reconnect with backend='sqlite'"
                 )
-            return execute_statement(self.engine, self._version, statement, params)
-        from repro.backend.planner import execute_statement_sqlite
+            return compile_statement_memory(self._version, statement)
+        from repro.backend.planner import compile_statement_sqlite
 
-        return execute_statement_sqlite(self._session, self._version, statement, params)
+        return compile_statement_sqlite(self._version, statement)
+
+    def _run_plan(self, plan, params: tuple) -> StatementResult:
+        if self._session is None:
+            return plan.run(self.engine, params)
+        return plan.run(self._session, params)
+
+    def _run_plan_many(self, plan, seq_of_parameters) -> StatementResult:
+        if self._session is None:
+            return plan.run_many(self.engine, seq_of_parameters)
+        return plan.run_many(self._session, seq_of_parameters)
+
+    def stats(self) -> dict:
+        """Observability snapshot: shared plan-cache counters plus, on the
+        live backend, the session pool's occupancy."""
+        payload = {
+            "backend": self.backend_name,
+            "plan_cache": self.engine.plan_cache.stats(),
+        }
+        if self._backend is not None:
+            payload["pool"] = self._backend.pool.stats()
+        return payload
 
     def _force_end_transactions(self) -> None:
         """DDL implicitly commits every open transaction, including other
@@ -722,6 +777,7 @@ def connect(
     *,
     autocommit: bool = False,
     backend: str | None = None,
+    plan_cache: bool = True,
 ) -> Connection:
     """Open a DB-API connection to ``version`` of ``engine``.
 
@@ -734,10 +790,20 @@ def connect(
     the live SQLite backend (attaching one on first use) where generated
     views and INSTEAD OF triggers serve reads and writes inside SQLite.
     The default is the engine's attached backend, if any, else memory.
+
+    ``plan_cache=False`` opts this connection out of the engine's shared
+    statement-plan cache (every execute re-parses and re-plans; used by
+    the fig16 benchmark to measure the cold path).
     """
     schema_version = resolve_schema_version(engine, version)
     resolved = _resolve_backend(engine, backend)
-    return Connection(engine, schema_version, autocommit=autocommit, backend=resolved)
+    return Connection(
+        engine,
+        schema_version,
+        autocommit=autocommit,
+        backend=resolved,
+        plan_cache=plan_cache,
+    )
 
 
 def resolve_schema_version(engine: "InVerDa", version: str | None) -> SchemaVersion:

@@ -301,7 +301,27 @@ class SqlParser:
         return Delete(table=table, where=where, param_count=self._params.count)
 
 
+#: Counter hook: how often the execution layer asked for a parse
+#: (``requests``) and how often a parse actually ran (``parses``, i.e.
+#: text-cache misses).  The plan cache's regression tests assert on these
+#: — a cached plan must not even *request* a parse.
+parse_counters = {"requests": 0, "parses": 0}
+
+
+def reset_parse_counters() -> None:
+    parse_counters["requests"] = 0
+    parse_counters["parses"] = 0
+
+
 @lru_cache(maxsize=512)
+def _parse_statement_cached(text: str) -> SqlStatement:
+    parse_counters["parses"] += 1
+    try:
+        return SqlParser(text).parse_statement()
+    except ParseError as exc:
+        raise ProgrammingError(str(exc)) from exc
+
+
 def parse_statement(text: str) -> SqlStatement:
     """Parse one SQL statement (or a BiDEL DDL script) into its AST.
 
@@ -309,7 +329,5 @@ def parse_statement(text: str) -> SqlStatement:
     the same text (the common case for parameterized workloads) skips the
     parse entirely.
     """
-    try:
-        return SqlParser(text).parse_statement()
-    except ParseError as exc:
-        raise ProgrammingError(str(exc)) from exc
+    parse_counters["requests"] += 1
+    return _parse_statement_cached(text)

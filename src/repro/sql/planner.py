@@ -353,3 +353,54 @@ def execute_statement(
     if isinstance(stmt, Delete):
         return execute_delete(engine, version, stmt, params)
     raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")
+
+
+class MemoryPlan:
+    """A cached statement plan for the in-memory engine.
+
+    Execution on this backend *is* the engine's row-level routing, so the
+    plan body only pins what is pure per statement text: the parsed AST,
+    the resolved table version (validated at compile time), and for
+    SELECTs the prebuilt cursor ``description``.
+    """
+
+    _KINDS = {Select: "select", Insert: "insert", Update: "update", Delete: "delete"}
+
+    def __init__(self, version: SchemaVersion, stmt: SqlStatement):
+        kind = self._KINDS.get(type(stmt))
+        if kind is None:
+            raise ProgrammingError(f"cannot execute {type(stmt).__name__} here")
+        self.kind = kind
+        self.version = version
+        self.stmt = stmt
+        self.param_count = stmt.param_count
+        # Validate table (and, for SELECT, projection) once at compile time
+        # so a cached plan and a cold execution fail identically.
+        tv = resolve_table(version, stmt.table)
+        if isinstance(stmt, Select):
+            _projection(tv, stmt.items)
+
+    def run(self, engine: "InVerDa", params: tuple) -> StatementResult:
+        return execute_statement(engine, self.version, self.stmt, params)
+
+    def run_many(self, engine: "InVerDa", seq_of_params) -> StatementResult:
+        """Bulk-load fast path (``seq_of_params`` rows are already-
+        normalized tuples): evaluate every parameter row's VALUES, then
+        insert them as ONE change batch (a single propagation pass through
+        the version genealogy)."""
+        assert isinstance(self.stmt, Insert)
+        tv = None
+        mappings: list[RowMapping] = []
+        for params in seq_of_params:
+            tv, row_mappings = build_insert_mappings(
+                self.version, self.stmt, params
+            )
+            mappings.extend(row_mappings)
+        keys = insert_rows(engine, tv, mappings) if tv is not None else []
+        return StatementResult(
+            rowcount=len(keys), lastrowid=keys[-1] if keys else None
+        )
+
+
+def compile_statement_memory(version: SchemaVersion, stmt: SqlStatement) -> MemoryPlan:
+    return MemoryPlan(version, stmt)

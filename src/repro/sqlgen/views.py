@@ -17,10 +17,38 @@ leading column ``p``.
 from __future__ import annotations
 
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.datalog.ast import Assign, Atom, Compare, CondLit, Const, Rule, RuleSet, Term, Var
 from repro.errors import BackendError
 from repro.util.naming import quote_identifier
+
+
+@dataclass(frozen=True)
+class ViewBranch:
+    """One UNION branch of a rule-rendered view, kept structured so the
+    backend's view composer (:mod:`repro.backend.compose`) can inline and
+    merge branches along the SMO chain instead of nesting views.
+
+    ``head`` pairs each output column (including the leading tuple id
+    ``p``) with its SQL expression; ``froms`` lists ``(alias, table
+    reference)`` entries (table references may be physical tables, other
+    view names, or inline subqueries); ``where`` is a conjunction.
+    """
+
+    head: tuple[tuple[str, str], ...]
+    froms: tuple[tuple[str, str], ...]
+    where: tuple[str, ...]
+
+    def sql(self) -> str:
+        select_items = ", ".join(
+            f"{expr} AS {quote_identifier(column)}" for column, expr in self.head
+        )
+        sql = "SELECT " + select_items
+        sql += " FROM " + ", ".join(f"{table} {alias}" for alias, table in self.froms)
+        if self.where:
+            sql += " WHERE " + " AND ".join(self.where)
+        return sql
 
 
 def _sql_literal(value) -> str:
@@ -79,6 +107,9 @@ class _Subquery:
         return constraints
 
     def build(self) -> str:
+        return self.branch().sql()
+
+    def branch(self) -> ViewBranch:
         positives = [lit for lit in self.rule.body if isinstance(lit, Atom) and lit.positive]
         negatives = [lit for lit in self.rule.body if isinstance(lit, Atom) and not lit.positive]
         conditions = [lit for lit in self.rule.body if isinstance(lit, CondLit)]
@@ -145,14 +176,13 @@ class _Subquery:
                 body += " WHERE " + " AND ".join(constraints)
             self.where.append(f"NOT EXISTS ({body})")
 
-        select_items = []
-        for term, column in zip(self.rule.head.terms, ("p", *self.head_columns)):
-            select_items.append(f"{self._term_sql(term)} AS {quote_identifier(column)}")
-        sql = "SELECT " + ", ".join(select_items)
-        sql += " FROM " + ", ".join(f"{table} {alias}" for alias, table in self.aliases)
-        if self.where:
-            sql += " WHERE " + " AND ".join(self.where)
-        return sql
+        head = tuple(
+            (column, self._term_sql(term))
+            for term, column in zip(self.rule.head.terms, ("p", *self.head_columns))
+        )
+        return ViewBranch(
+            head=head, froms=tuple(self.aliases), where=tuple(self.where)
+        )
 
     def _column_var(self, column: str) -> str:
         # Assign expressions refer to source columns by name; the SMO rule
@@ -182,14 +212,36 @@ def select_sql_for_rules(
 ) -> str:
     """A bare ``SELECT`` (UNION of one subquery per rule) deriving
     ``head_pred``; shared by view creation and generated put programs."""
-    subqueries = []
-    for rule in rules.rules_for(head_pred):
-        subqueries.append(
-            _Subquery(rule, table_names, table_columns, head_columns).build()
+    return "\nUNION\n".join(
+        branch.sql()
+        for branch in branches_for_rules(
+            head_pred,
+            rules,
+            table_names=table_names,
+            table_columns=table_columns,
+            head_columns=head_columns,
         )
-    if not subqueries:
+    )
+
+
+def branches_for_rules(
+    head_pred: str,
+    rules: RuleSet,
+    *,
+    table_names: Mapping[str, str],
+    table_columns: Mapping[str, tuple[str, ...]],
+    head_columns: tuple[str, ...],
+) -> list[ViewBranch]:
+    """The structured UNION branches deriving ``head_pred`` (one per rule);
+    the backend's view composer flattens these along the SMO chain."""
+    branches = []
+    for rule in rules.rules_for(head_pred):
+        branches.append(
+            _Subquery(rule, table_names, table_columns, head_columns).branch()
+        )
+    if not branches:
         raise BackendError(f"no rules derive {head_pred!r}")
-    return "\nUNION\n".join(subqueries)
+    return branches
 
 
 def view_sql_for_rules(

@@ -109,8 +109,8 @@ class TestAtomicRegenerate:
         engine, backend, conn = self._attached()
         real = codegen.view_statements
 
-        def broken(eng):
-            statements = real(eng)
+        def broken(eng, **kwargs):
+            statements = real(eng, **kwargs)
             return statements[:1] + ["CREATE VIEW broken AS SELECT"] + statements[1:]
 
         monkeypatch.setattr(codegen, "view_statements", broken)
