@@ -8,6 +8,9 @@ Public entry points:
   schema version, and migrate the physical table schema with one call.
 - :func:`connect` — a PEP-249 (DB-API) connection to one schema version:
   cursors, SQL with ``?`` parameter binding, commit/rollback.
+- :func:`open` — reopen a SQLite file whose catalog was persisted by a
+  previous process: replays the stored BiDEL log, verifies fingerprints,
+  and returns a ready engine serving every schema version again.
 - :func:`serve` / :func:`connect_remote` — the same connection surface
   over TCP: a threaded wire-protocol server and its client driver.
 - :func:`parse_script` / :func:`parse_smo` — the BiDEL parser.
@@ -21,14 +24,16 @@ Public entry points:
 from repro.bidel import parse_script, parse_smo
 from repro.core import InVerDa, VersionConnection
 from repro.errors import ReproError
+from repro.persist.recovery import open_database as open
 from repro.server import ReproServer, connect_remote, serve
 from repro.sql import Connection, Cursor, connect
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "InVerDa",
     "connect",
+    "open",
     "connect_remote",
     "serve",
     "ReproServer",

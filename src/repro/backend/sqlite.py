@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING
 from repro.backend import codegen, emit
 from repro.backend.emit import q, qcols
 from repro.backend.pool import SessionPool, shared_memory_uri
-from repro.errors import BackendError, InterfaceError
+from repro.errors import BackendError, CatalogError, InterfaceError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.catalog.genealogy import SmoInstance
@@ -158,6 +158,21 @@ class LiveSqliteBackend:
         self._closed = False
         self._sessions: list[SqliteSession] = []
         self._sessions_lock = threading.Lock()
+        # The durable catalog (None when persistence is off): every
+        # catalog-transition hook writes through it, inside the same
+        # transaction as the DDL it installs.
+        self.store = None
+        #: True when attach found a persisted catalog and recovered it
+        #: instead of snapshotting the engine.
+        self.recovered = False
+        #: True when recovery reused the file's installed views/triggers
+        #: (the persisted delta generation matched) instead of
+        #: regenerating them.
+        self.delta_reused = False
+        # Test hook: callable(point: str) invoked at named points inside
+        # catalog transitions, so the crash-safety suite can simulate a
+        # process dying between the catalog write and the commit.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -174,6 +189,9 @@ class LiveSqliteBackend:
         busy_timeout: float = 5.0,
         cached_statements: int = 256,
         flatten: bool = True,
+        persist: bool = True,
+        repair: bool = False,
+        force: bool = False,
     ) -> "LiveSqliteBackend":
         """Snapshot ``engine`` into SQLite, install the generated delta
         code, and register with the engine.
@@ -189,6 +207,17 @@ class LiveSqliteBackend:
         version wherever the composer can flatten the SMO chain);
         ``False`` emits the naive nested view stack, one view per SMO hop
         (the fig16 benchmark's baseline).
+
+        ``persist`` (default ``True``) keeps the catalog durable: the
+        engine's genealogy, materialization, and generation live in
+        ``_repro_catalog_*`` tables inside the database, written in the
+        same transaction as every catalog transition's DDL.  When the
+        database already carries a catalog (a file from a previous
+        process), ``engine`` must be fresh and is *recovered* from it —
+        the stored BiDEL log is replayed, fingerprints are verified
+        against the physical tables, and the installed views/triggers are
+        reused when still current.  ``repair``/``force`` are the
+        recovery escape hatches (see :func:`repro.persist.recover`).
         """
         if database == ":memory:":
             database, uri, wal = shared_memory_uri(), True, False
@@ -210,13 +239,101 @@ class LiveSqliteBackend:
             cached_statements=cached_statements,
             plan_cache_stats=engine.plan_cache.stats,
         )
+        from repro.persist.store import CatalogStore
+
         backend = cls(engine, pool, flatten=flatten)
-        backend._load_snapshot()
-        backend.regenerate()
-        backend._run(codegen.repair_all_statements(engine))
-        backend.connection.commit()
+        try:
+            if persist and CatalogStore.has_catalog(backend.connection):
+                backend._recover(repair=repair, force=force)
+            else:
+                backend._install_fresh(persist=persist)
+        except BaseException:
+            backend._closed = True
+            pool.close()
+            backend.connection.close()
+            raise
         engine.attach_backend(backend)
         return backend
+
+    def _install_fresh(self, *, persist: bool) -> None:
+        """First attach to an empty database: load the engine's snapshot,
+        install the delta code, and (with ``persist``) write the initial
+        catalog — all in one transaction."""
+        from repro.persist.store import CatalogStore
+
+        self._begin()
+        try:
+            self._load_snapshot()
+            self.regenerate()
+            self._run(codegen.repair_all_statements(self.engine))
+            if persist:
+                store = CatalogStore(self.connection)
+                store.save_snapshot(self.engine)
+                store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+                self.store = store
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
+
+    def _recover(self, *, repair: bool, force: bool) -> None:
+        """Attach to a database that already carries a persisted catalog:
+        rebuild the engine from it instead of snapshotting the engine
+        over it, and reuse the installed delta code when still current."""
+        from repro.persist.fingerprint import catalog_fingerprint
+        from repro.persist.recovery import recover
+        from repro.persist.store import CatalogStore
+
+        store = CatalogStore(self.connection)
+        if self.engine.genealogy.schema_versions:
+            # Re-attach of an engine that already holds this catalog
+            # (close() + attach() in one process): accept only an exact
+            # fingerprint match — anything else would silently serve one
+            # catalog's data through another catalog's views.
+            state = store.load()
+            if catalog_fingerprint(self.engine) != state.fingerprint:
+                raise CatalogError(
+                    "this database already carries a different catalog; "
+                    "attach a fresh engine (repro.open) or use another file"
+                )
+            self.engine.catalog_generation = state.generation
+        else:
+            state = recover(self.engine, self.connection, repair=repair, force=force)
+        self.store = store
+        self.recovered = True
+        if (
+            state.delta_generation == self.engine.catalog_generation
+            and state.delta_flatten == self.flatten
+            and self._delta_installed()
+        ):
+            self.delta_reused = True
+            return
+        self._begin()
+        try:
+            self.regenerate()
+            self._run(codegen.repair_all_statements(self.engine))
+            store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
+
+    def _delta_installed(self) -> bool:
+        """Does the database hold a view for every active table version?
+        Guards delta-code reuse against files whose generated objects were
+        stripped (e.g. by a vacuum-into or a manual cleanup)."""
+        installed = {
+            row[0]
+            for row in self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'view'"
+            )
+        }
+        expected = {
+            tv.view_name
+            for version in self.engine.genealogy.active_versions()
+            for tv in version.tables.values()
+        }
+        return expected <= installed
 
     def _load_snapshot(self) -> None:
         cursor = self.connection.cursor()
@@ -238,7 +355,6 @@ class LiveSqliteBackend:
                 f"INSERT INTO {q(name)} VALUES ({placeholders})",
                 [(key, *row) for key, row in table],
             )
-        self.connection.commit()
 
     # ------------------------------------------------------------------
     # Sessions
@@ -327,44 +443,126 @@ class LiveSqliteBackend:
     # ------------------------------------------------------------------
     # Engine hooks (ExecutionBackend)
     # ------------------------------------------------------------------
+    #
+    # Every catalog transition is one explicit transaction on the
+    # administrative handle: the catalog rows (via ``self.store``) and the
+    # DDL they describe commit together, so a crash at any point — the
+    # fault-injection suite exercises the ``_fault`` markers — leaves the
+    # database wholly before or wholly after the transition.
+
+    def _begin(self) -> None:
+        if not self.connection.in_transaction:
+            self.connection.execute("BEGIN")
+
+    def _abort(self) -> None:
+        if self.connection.in_transaction:
+            self.connection.execute("ROLLBACK")
+
+    def _fault(self, point: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector(point)
 
     def on_evolution(self, version: "SchemaVersion") -> None:
-        self._run(codegen.evolution_statements(self.engine, version))
-        self.regenerate()
-        self._run(codegen.repair_all_statements(self.engine))
-        self.connection.commit()
+        self._begin()
+        try:
+            if self.store is not None:
+                self.store.record_evolution(self.engine, version)
+                self._fault("evolution:after-catalog")
+            self._run(codegen.evolution_statements(self.engine, version))
+            self.regenerate()
+            self._run(codegen.repair_all_statements(self.engine))
+            if self.store is not None:
+                self.store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+            self._fault("evolution:before-commit")
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
 
     def on_materialize(self, schema: frozenset["SmoInstance"]) -> None:
-        stage, swap = codegen.migration_statements(self.engine, schema)
-        self._run(stage)
-        self.drop_generated()
-        self._run(swap)
+        self._begin()
+        try:
+            stage, swap = codegen.migration_statements(self.engine, schema)
+            self._run(stage)
+            self._fault("materialize:staged")
+            self.drop_generated()
+            self._run(swap)
+            self._fault("materialize:swapped")
+        except BaseException:
+            self._abort()
+            raise
 
     def after_materialize(self) -> None:
-        self.regenerate()
-        self._run(codegen.repair_all_statements(self.engine))
-        self.connection.commit()
+        try:
+            self.regenerate()
+            self._run(codegen.repair_all_statements(self.engine))
+            if self.store is not None:
+                self.store.record_materialize(self.engine)
+                self.store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+            self._fault("materialize:before-commit")
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
 
     def on_drop(self, version_name: str, removed: list["SmoInstance"]) -> None:
         from repro.backend.handlers import HandlerContext, handler_for
 
-        cursor = self.connection.cursor()
-        ctx = HandlerContext(self.engine)
-        for smo in removed:
-            semantics = smo.semantics
-            tables: set[str] = set()
-            if semantics is not None:
-                for role in (
-                    set(semantics.aux_src())
-                    | set(semantics.aux_tgt())
-                    | set(semantics.aux_shared())
-                ):
-                    tables.add(smo.aux_table_name(role))
-                tables |= set(handler_for(ctx, smo).put_tables())
-            for table in tables:
-                cursor.execute(f"DROP TABLE IF EXISTS {q(table)}")
-        self.regenerate()
-        self.connection.commit()
+        self._begin()
+        try:
+            cursor = self.connection.cursor()
+            ctx = HandlerContext(self.engine)
+            for smo in removed:
+                semantics = smo.semantics
+                tables: set[str] = set()
+                if semantics is not None:
+                    for role in (
+                        set(semantics.aux_src())
+                        | set(semantics.aux_tgt())
+                        | set(semantics.aux_shared())
+                    ):
+                        tables.add(smo.aux_table_name(role))
+                    tables |= set(handler_for(ctx, smo).put_tables())
+                for table in tables:
+                    cursor.execute(f"DROP TABLE IF EXISTS {q(table)}")
+            self.regenerate()
+            if self.store is not None:
+                self.store.record_drop(self.engine, version_name)
+                self.store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+            self._fault("drop:before-commit")
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
+
+    # ------------------------------------------------------------------
+    # Catalog introspection
+    # ------------------------------------------------------------------
+
+    def on_disk_generation(self) -> int | None:
+        """The catalog generation last committed to the database — on a
+        WAL file this sees other processes' commits, so a caller can
+        detect that the shared catalog moved under it."""
+        if self.store is None:
+            return None
+        return self.store.read_generation()
+
+    def catalog_stats(self) -> dict:
+        """Durability facts for ``Connection.stats()`` / server status."""
+        stats: dict = {
+            "generation": self.engine.catalog_generation,
+            "fingerprint": self.engine.catalog_fingerprint(),
+            "persisted": self.store is not None,
+            "recovered": self.recovered,
+            "delta_reused": self.delta_reused,
+        }
+        if self.store is not None:
+            on_disk = self.store.read_generation()
+            stats["on_disk_generation"] = on_disk
+            stats["stale"] = (
+                on_disk is not None and on_disk > self.engine.catalog_generation
+            )
+        return stats
 
     # ------------------------------------------------------------------
     # Data plane (administrative handle)

@@ -150,6 +150,8 @@ class InVerDa:
         # statement plans are tagged with it, so a plan can never outlive
         # the catalog it was lowered against.
         self.catalog_generation = 0
+        # (generation, fingerprint) memo for catalog_fingerprint().
+        self._fingerprint_memo: tuple[int, str] | None = None
         from repro.core.advisor import WorkloadRecorder
         from repro.sql.plancache import PlanCache
 
@@ -250,7 +252,12 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             version = self._create_schema_version(statement)
+            # The generation moves BEFORE the backend hooks run, so a
+            # persisting backend records the new generation in the same
+            # transaction as the DDL it installs.
             self.catalog_generation += 1
+            for backend in self._backends:
+                backend.on_evolution(version)
             self._notify_catalog("evolution", version=version.name)
             return version
 
@@ -264,8 +271,6 @@ class InVerDa:
         self.genealogy.add_schema_version(version)
         self.genealogy.check_acyclic()
         self._propagation_needs.clear()
-        for backend in self._backends:
-            backend.on_evolution(version)
         return version
 
     def _apply_smo(
@@ -359,11 +364,13 @@ class InVerDa:
     def drop_schema_version(self, name: str) -> None:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
-            self._drop_schema_version(name)
+            removed = self._drop_schema_version(name)
             self.catalog_generation += 1
+            for backend in self._backends:
+                backend.on_drop(name, removed)
             self._notify_catalog("drop", version=name)
 
-    def _drop_schema_version(self, name: str) -> None:
+    def _drop_schema_version(self, name: str) -> list[SmoInstance]:
         version = self.genealogy.schema_version(name)
         removable = self.genealogy.drop_schema_version(version.name)
         # SMOs no longer connecting remaining versions are garbage-collected
@@ -385,8 +392,7 @@ class InVerDa:
                     self.database.drop_table(table_name)
             self.genealogy.smo_instances.pop(smo.uid, None)
             removed.append(smo)
-        for backend in self._backends:
-            backend.on_drop(name, removed)
+        return removed
 
     # ------------------------------------------------------------------
     # Routing
@@ -769,7 +775,6 @@ class InVerDa:
         with self.catalog_lock.write_locked():
             self._quiesce_backends()
             self._apply_materialization(schema)
-            self.catalog_generation += 1
             self._notify_catalog("materialize")
 
     def _apply_materialization(self, schema: frozenset[SmoInstance]) -> None:
@@ -832,6 +837,9 @@ class InVerDa:
             smo.materialized = smo in schema
         self._invalidate_semantics_caches()
         self._propagation_needs.clear()
+        # Bump before after_materialize so a persisting backend records
+        # the new generation with the regenerated delta code.
+        self.catalog_generation += 1
         for backend in self._backends:
             backend.after_materialize()
 
@@ -846,4 +854,23 @@ class InVerDa:
         return self.database.table_names()
 
     def version_names(self) -> list[str]:
-        return sorted(v.name for v in self.genealogy.active_versions())
+        """Active schema version names in genealogy (insertion) order.
+
+        The order is deterministic and creation-ordered on purpose: the
+        persisted catalog log, the catalog fingerprint, and replay-based
+        recovery all depend on genealogy iteration being stable across
+        runs (sorting by name would make it depend on what versions are
+        *called*)."""
+        return [v.name for v in self.genealogy.active_versions()]
+
+    def catalog_fingerprint(self) -> str:
+        """The deterministic fingerprint of the whole catalog (versions,
+        materialization, physical layout), memoized per generation."""
+        memo = self._fingerprint_memo
+        if memo is not None and memo[0] == self.catalog_generation:
+            return memo[1]
+        from repro.persist.fingerprint import catalog_fingerprint
+
+        fingerprint = catalog_fingerprint(self)
+        self._fingerprint_memo = (self.catalog_generation, fingerprint)
+        return fingerprint

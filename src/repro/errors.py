@@ -52,6 +52,13 @@ class MaterializationError(CatalogError):
     or (56) of the paper, or names unknown table versions."""
 
 
+class CatalogCorruptError(CatalogError):
+    """The catalog persisted inside a database does not match the database
+    itself: fingerprint mismatches after log replay, or physical tables
+    missing/drifted.  Recovery refuses to serve wrong answers; see
+    ``repro.open(..., repair=True)`` / ``force=True`` for escape hatches."""
+
+
 class EvolutionError(ReproError):
     """A BiDEL evolution cannot be applied to the given source version."""
 

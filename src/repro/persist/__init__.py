@@ -1,0 +1,35 @@
+"""Durable in-database catalog: persistence, fingerprints, recovery.
+
+The subsystem that lets a repro database outlive its process: the catalog
+of schema versions is stored inside the SQLite file it describes
+(:mod:`repro.persist.store`), deterministic fingerprints dedup identical
+schema states and detect drift (:mod:`repro.persist.fingerprint`), and
+:func:`repro.open` reconstructs a ready engine from a bare file
+(:mod:`repro.persist.recovery`).
+"""
+
+from repro.persist.fingerprint import (
+    catalog_fingerprint,
+    layout_fingerprint,
+    version_fingerprint,
+)
+from repro.persist.recovery import (
+    database_has_catalog,
+    open_database,
+    recover,
+    replay_into,
+)
+from repro.persist.store import FORMAT_VERSION, CatalogState, CatalogStore
+
+__all__ = [
+    "CatalogStore",
+    "CatalogState",
+    "FORMAT_VERSION",
+    "catalog_fingerprint",
+    "database_has_catalog",
+    "layout_fingerprint",
+    "open_database",
+    "recover",
+    "replay_into",
+    "version_fingerprint",
+]

@@ -1,0 +1,297 @@
+"""The durable catalog: ``_repro_catalog_*`` tables inside the database.
+
+The engine's version genealogy, SMO chains, materialization choice, and
+catalog generation are database state (the paper's premise: the catalog of
+schema versions *is* the database).  :class:`CatalogStore` writes them into
+the same SQLite file that holds the physical tables, inside the same
+transaction as the DDL they describe, so a crash mid-transition leaves
+either the old or the new catalog — never a torn one.
+
+Tables
+------
+
+``_repro_catalog_meta``
+    key/value: ``format_version`` (forward compatibility), ``generation``
+    (the engine's monotonic catalog generation), ``fingerprint`` (the
+    whole-catalog fingerprint), and ``delta_generation``/``delta_flatten``
+    (the generation and view-emission mode the installed delta code was
+    generated for — the key for idempotent reuse on re-attach).
+
+``_repro_catalog_log``
+    The append-only catalog log, one row per catalog transition in
+    chronological order: ``evolution`` rows carry the version's BiDEL text
+    plus the uid counters to seed before replaying it (so physical names,
+    which embed uids, come out identical even across garbage-collected
+    gaps); ``materialize`` rows carry the materialized SMO uid set;
+    ``drop`` rows the dropped version name.  Recovery replays this log
+    through a fresh engine.
+
+``_repro_catalog_versions`` / ``_repro_catalog_schemas``
+    Per-version bookkeeping (genealogy position, parent, dropped flag)
+    referencing deduplicated schema snapshots keyed by their
+    deterministic fingerprint: versions with identical table shapes share
+    one serialized snapshot row.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.bidel.ast import CreateSchemaVersion
+from repro.errors import CatalogError
+from repro.persist.fingerprint import (
+    catalog_fingerprint,
+    version_fingerprint,
+    version_payload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.versions import SchemaVersion
+    from repro.core.engine import InVerDa
+
+#: Bump when the catalog serialization format changes incompatibly.
+FORMAT_VERSION = 1
+
+META_TABLE = "_repro_catalog_meta"
+LOG_TABLE = "_repro_catalog_log"
+VERSIONS_TABLE = "_repro_catalog_versions"
+SCHEMAS_TABLE = "_repro_catalog_schemas"
+
+_DDL = [
+    f"CREATE TABLE IF NOT EXISTS {META_TABLE} "
+    "(key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    f"CREATE TABLE IF NOT EXISTS {LOG_TABLE} "
+    "(seq INTEGER PRIMARY KEY, kind TEXT NOT NULL, payload TEXT NOT NULL)",
+    f"CREATE TABLE IF NOT EXISTS {SCHEMAS_TABLE} "
+    "(fingerprint TEXT PRIMARY KEY, snapshot TEXT NOT NULL)",
+    f"CREATE TABLE IF NOT EXISTS {VERSIONS_TABLE} "
+    "(position INTEGER PRIMARY KEY, name TEXT UNIQUE NOT NULL, parent TEXT, "
+    "dropped INTEGER NOT NULL DEFAULT 0, "
+    f"fingerprint TEXT NOT NULL REFERENCES {SCHEMAS_TABLE}(fingerprint))",
+]
+
+
+@dataclass
+class VersionRecord:
+    position: int
+    name: str
+    parent: str | None
+    dropped: bool
+    fingerprint: str
+
+
+@dataclass
+class CatalogState:
+    """Everything :meth:`CatalogStore.load` reads back from a database."""
+
+    format_version: int
+    generation: int
+    fingerprint: str | None
+    delta_generation: int | None
+    delta_flatten: bool | None
+    entries: list[dict] = field(default_factory=list)
+    versions: list[VersionRecord] = field(default_factory=list)
+
+
+def evolution_entry(engine: "InVerDa", version: "SchemaVersion") -> dict:
+    """The log entry recreating ``version``: its BiDEL text (rebuilt from
+    the catalog, so one code path serves live recording and snapshot
+    synthesis alike) plus the uid counters to seed before replaying."""
+    smos = [
+        smo for smo in engine.genealogy.all_smos() if smo.evolution == version.name
+    ]
+    statement = CreateSchemaVersion(
+        version.name, version.parent, tuple(smo.node for smo in smos)
+    )
+    return {
+        "name": version.name,
+        "source": version.parent,
+        "bidel": statement.unparse() if smos else None,
+        "table_uid": min(
+            (tv.uid for smo in smos for tv in smo.targets), default=None
+        ),
+        "smo_uid": min((smo.uid for smo in smos), default=None),
+    }
+
+
+def snapshot_entries(engine: "InVerDa") -> list[tuple[str, dict]]:
+    """Synthesize a complete catalog log from the engine's current state
+    (used when persistence starts on a catalog that predates it).
+
+    The synthesized order — every version creation in genealogy order,
+    then the current materialization, then the drops — replays to the
+    same catalog: SMO instances the original drops garbage-collected are
+    simply absent from their version's entry, uid seeds bridge the gaps,
+    and the surviving SMOs of dropped versions survive the replayed drop
+    for the same reason they survived the original one (they are
+    materialized, physical, or still routing an active version).
+    """
+    entries: list[tuple[str, dict]] = []
+    for version in engine.genealogy.schema_versions.values():
+        entries.append(("evolution", evolution_entry(engine, version)))
+    materialized = sorted(
+        smo.uid for smo in engine.genealogy.evolution_smos() if smo.materialized
+    )
+    if materialized:
+        entries.append(("materialize", {"smos": materialized}))
+    for version in engine.genealogy.schema_versions.values():
+        if version.dropped:
+            entries.append(("drop", {"name": version.name}))
+    return entries
+
+
+class CatalogStore:
+    """Reads and writes the ``_repro_catalog_*`` tables on one SQLite
+    connection.  Writes never commit: they join whatever transaction the
+    caller (the live backend's catalog-transition hooks) has open, so the
+    catalog rows and the DDL they describe are atomic together."""
+
+    def __init__(self, connection: sqlite3.Connection):
+        self.connection = connection
+
+    # ------------------------------------------------------------------
+    # Presence and installation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def has_catalog(connection: sqlite3.Connection) -> bool:
+        row = connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (META_TABLE,),
+        ).fetchone()
+        return row is not None
+
+    def install(self) -> None:
+        for statement in _DDL:
+            self.connection.execute(statement)
+
+    # ------------------------------------------------------------------
+    # Meta
+    # ------------------------------------------------------------------
+
+    def _set_meta(self, key: str, value: object) -> None:
+        self.connection.execute(
+            f"INSERT OR REPLACE INTO {META_TABLE} (key, value) VALUES (?, ?)",
+            (key, json.dumps(value)),
+        )
+
+    def _get_meta(self, key: str, default=None):
+        row = self.connection.execute(
+            f"SELECT value FROM {META_TABLE} WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    def read_generation(self) -> int | None:
+        """The on-disk catalog generation — cheap enough to poll, and (on
+        a WAL database) always the latest committed value, so a process
+        can detect that *another* process moved the shared catalog."""
+        if not self.has_catalog(self.connection):
+            return None
+        return self._get_meta("generation")
+
+    def set_delta_meta(self, generation: int, flatten: bool) -> None:
+        """Record which catalog generation (and view-emission mode) the
+        installed views/triggers were generated for; re-attach skips
+        regeneration when both still match."""
+        self._set_meta("delta_generation", generation)
+        self._set_meta("delta_flatten", flatten)
+
+    # ------------------------------------------------------------------
+    # Recording catalog transitions
+    # ------------------------------------------------------------------
+
+    def _append_log(self, kind: str, payload: dict) -> None:
+        self.connection.execute(
+            f"INSERT INTO {LOG_TABLE} (seq, kind, payload) VALUES "
+            f"((SELECT COALESCE(MAX(seq), 0) + 1 FROM {LOG_TABLE}), ?, ?)",
+            (kind, json.dumps(payload)),
+        )
+
+    def _write_version_row(self, version: "SchemaVersion", position: int) -> None:
+        fingerprint = version_fingerprint(version)
+        self.connection.execute(
+            f"INSERT OR IGNORE INTO {SCHEMAS_TABLE} (fingerprint, snapshot) "
+            "VALUES (?, ?)",
+            (fingerprint, json.dumps(version_payload(version))),
+        )
+        self.connection.execute(
+            f"INSERT OR REPLACE INTO {VERSIONS_TABLE} "
+            "(position, name, parent, dropped, fingerprint) VALUES (?, ?, ?, ?, ?)",
+            (position, version.name, version.parent, int(version.dropped), fingerprint),
+        )
+
+    def _refresh_meta(self, engine: "InVerDa") -> None:
+        self._set_meta("format_version", FORMAT_VERSION)
+        self._set_meta("generation", engine.catalog_generation)
+        self._set_meta("fingerprint", catalog_fingerprint(engine))
+
+    def record_evolution(self, engine: "InVerDa", version: "SchemaVersion") -> None:
+        self._append_log("evolution", evolution_entry(engine, version))
+        position = list(engine.genealogy.schema_versions).index(version.name)
+        self._write_version_row(version, position)
+        self._refresh_meta(engine)
+
+    def record_materialize(self, engine: "InVerDa") -> None:
+        materialized = sorted(
+            smo.uid for smo in engine.genealogy.evolution_smos() if smo.materialized
+        )
+        self._append_log("materialize", {"smos": materialized})
+        self._refresh_meta(engine)
+
+    def record_drop(self, engine: "InVerDa", name: str) -> None:
+        self._append_log("drop", {"name": name})
+        self.connection.execute(
+            f"UPDATE {VERSIONS_TABLE} SET dropped = 1 WHERE name = ?", (name,)
+        )
+        self._refresh_meta(engine)
+
+    def save_snapshot(self, engine: "InVerDa") -> None:
+        """(Re)write the whole catalog from the engine's current state —
+        the first persist of an engine that predates the store."""
+        self.install()
+        for table in (LOG_TABLE, VERSIONS_TABLE, SCHEMAS_TABLE, META_TABLE):
+            self.connection.execute(f"DELETE FROM {table}")
+        for kind, payload in snapshot_entries(engine):
+            self._append_log(kind, payload)
+        for position, version in enumerate(engine.genealogy.schema_versions.values()):
+            self._write_version_row(version, position)
+        self._refresh_meta(engine)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self) -> CatalogState:
+        if not self.has_catalog(self.connection):
+            raise CatalogError("this database carries no persisted catalog")
+        format_version = self._get_meta("format_version", 0)
+        if format_version > FORMAT_VERSION:
+            raise CatalogError(
+                f"catalog format {format_version} is newer than this library "
+                f"understands (max {FORMAT_VERSION}); upgrade repro to open it"
+            )
+        entries = [
+            {"kind": kind, **json.loads(payload)}
+            for kind, payload in self.connection.execute(
+                f"SELECT kind, payload FROM {LOG_TABLE} ORDER BY seq"
+            )
+        ]
+        versions = [
+            VersionRecord(position, name, parent, bool(dropped), fingerprint)
+            for position, name, parent, dropped, fingerprint in self.connection.execute(
+                f"SELECT position, name, parent, dropped, fingerprint "
+                f"FROM {VERSIONS_TABLE} ORDER BY position"
+            )
+        ]
+        return CatalogState(
+            format_version=format_version,
+            generation=self._get_meta("generation", 0),
+            fingerprint=self._get_meta("fingerprint"),
+            delta_generation=self._get_meta("delta_generation"),
+            delta_flatten=self._get_meta("delta_flatten"),
+            entries=entries,
+            versions=versions,
+        )

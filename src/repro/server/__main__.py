@@ -16,6 +16,14 @@ versions), which is handy for trying the client driver::
     conn = repro.connect_remote("127.0.0.1", 7512, "TasKy")
     print(conn.execute("SELECT * FROM Task").fetchall())
     EOF
+
+Because the catalog is persisted *inside* the database file, a killed
+server restarts into the same catalog without the original script::
+
+    python -m repro.server --db state.db
+
+recovers every schema version, the materialization choice, and the data
+from ``state.db`` and serves them again.
 """
 
 from __future__ import annotations
@@ -58,32 +66,62 @@ def main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument(
         "--database",
-        help="SQLite file for the live backend (omitted: in-memory engine)",
+        "--db",
+        help="SQLite file for the live backend (omitted: in-memory engine); "
+        "a file carrying a persisted catalog is recovered and served as-is",
     )
     parser.add_argument("--pool-size", type=int, default=8)
     parser.add_argument("--max-sessions", type=int, default=None)
     parser.add_argument("--busy-timeout", type=float, default=5.0)
     parser.add_argument("--page-size", type=int, default=256)
     args = parser.parse_args(argv)
-    if not args.script and not args.demo:
-        parser.error("one of --script or --demo is required")
+    from repro.persist.recovery import database_has_catalog, open_database
 
-    engine = build_engine(args)
-    backend = None
-    if args.database:
-        backend = LiveSqliteBackend.attach(
-            engine,
-            database=args.database,
+    recovering = (
+        not args.script
+        and not args.demo
+        and args.database is not None
+        and database_has_catalog(args.database)
+    )
+    if not args.script and not args.demo and not recovering:
+        parser.error(
+            "one of --script or --demo is required "
+            "(or --database pointing at an existing repro database)"
+        )
+
+    if recovering:
+        engine = open_database(
+            args.database,
+            create=False,
             pool_size=args.pool_size,
             max_sessions=args.max_sessions,
             busy_timeout=args.busy_timeout,
         )
+        backend = engine.live_backend
+    else:
+        engine = build_engine(args)
+        backend = None
+        if args.database:
+            backend = LiveSqliteBackend.attach(
+                engine,
+                database=args.database,
+                pool_size=args.pool_size,
+                max_sessions=args.max_sessions,
+                busy_timeout=args.busy_timeout,
+            )
     server = ReproServer(
         engine, args.host, args.port, backend=backend, page_size=args.page_size
     ).start()
     host, port = server.address
     print(f"repro server listening on {host}:{port}", flush=True)
     print(f"serving versions: {', '.join(engine.version_names())}", flush=True)
+    if backend is not None and backend.store is not None:
+        verb = "recovered" if backend.recovered else "persisting"
+        print(
+            f"catalog {verb}: generation {engine.catalog_generation}, "
+            f"fingerprint {engine.catalog_fingerprint()[:12]}",
+            flush=True,
+        )
     try:
         while True:
             time.sleep(3600)

@@ -220,6 +220,8 @@ class RemoteConnection(BaseConnection):
         }
         if "pool" in status:
             payload["pool"] = status["pool"]
+        if "catalog" in status:
+            payload["catalog"] = status["catalog"]
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -497,9 +497,14 @@ class ReproServer:
             "versions": self.engine.version_names(),
             "page_size": self.page_size,
             "plan_cache": self.engine.plan_cache.stats(),
+            "catalog": {
+                "generation": self.engine.catalog_generation,
+                "fingerprint": self.engine.catalog_fingerprint(),
+            },
         }
         if backend is not None:
             payload["pool"] = backend.pool.stats()
+            payload["catalog"] = backend.catalog_stats()
         return payload
 
 

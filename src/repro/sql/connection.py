@@ -573,14 +573,20 @@ class Connection(BaseConnection):
         return plan.run_many(self._session, seq_of_parameters)
 
     def stats(self) -> dict:
-        """Observability snapshot: shared plan-cache counters plus, on the
-        live backend, the session pool's occupancy."""
+        """Observability snapshot: shared plan-cache counters, catalog
+        durability facts (generation, fingerprint, on-disk staleness)
+        plus, on the live backend, the session pool's occupancy."""
         payload = {
             "backend": self.backend_name,
             "plan_cache": self.engine.plan_cache.stats(),
+            "catalog": {
+                "generation": self.engine.catalog_generation,
+                "fingerprint": self.engine.catalog_fingerprint(),
+            },
         }
         if self._backend is not None:
             payload["pool"] = self._backend.pool.stats()
+            payload["catalog"] = self._backend.catalog_stats()
         return payload
 
     def _force_end_transactions(self) -> None:

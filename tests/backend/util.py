@@ -10,18 +10,41 @@ from repro.sql.connection import connect
 
 
 class DualSystem:
-    """Two engines fed identically: one in-memory, one SQLite-backed."""
+    """Two engines fed identically: one in-memory, one SQLite-backed.
 
-    def __init__(self):
+    With ``database`` pointing at a file, the SQLite side is durable and
+    :meth:`reopen` simulates a process restart: the backend is closed and
+    the engine rebuilt from the file's persisted catalog, after which the
+    recovered side must still match the in-memory side exactly.
+    """
+
+    def __init__(self, database: str | None = None):
         self.mem = InVerDa()
         self.sq = InVerDa()
+        self.database = database
         self.backend: LiveSqliteBackend | None = None
         self._mem_conns: dict[str, object] = {}
         self._sq_conns: dict[str, object] = {}
 
     def attach(self) -> None:
         if self.backend is None:
-            self.backend = LiveSqliteBackend.attach(self.sq)
+            self.backend = LiveSqliteBackend.attach(
+                self.sq, database=self.database or ":memory:"
+            )
+
+    def reopen(self) -> None:
+        """Simulate a restart of the SQLite side: close the backend, then
+        recover a brand-new engine from the file's persisted catalog."""
+        assert self.database is not None, "reopen() needs a file-backed DualSystem"
+        from repro.persist.recovery import open_database
+
+        for conn in self._sq_conns.values():
+            conn.close()
+        self._sq_conns.clear()
+        if self.backend is not None:
+            self.backend.close()
+        self.sq = open_database(self.database)
+        self.backend = self.sq.live_backend
 
     def execute_ddl(self, script: str) -> None:
         for conn in (*self._mem_conns.values(), *self._sq_conns.values()):
@@ -34,6 +57,7 @@ class DualSystem:
     def _conns(self, version: str):
         if version not in self._mem_conns:
             self._mem_conns[version] = connect(self.mem, version, autocommit=True)
+        if version not in self._sq_conns:
             self._sq_conns[version] = connect(
                 self.sq, version, autocommit=True, backend=self.backend
             )

@@ -12,7 +12,9 @@ def tasks_in(connection, table="Task"):
 
 class TestEvolution:
     def test_versions_exist(self, paper_tasky):
-        assert paper_tasky.engine.version_names() == ["Do!", "TasKy", "TasKy2"]
+        # Creation order (TasKy first, then Do! and TasKy2 derived from
+        # it) — version_names() is genealogy-ordered, not name-sorted.
+        assert paper_tasky.engine.version_names() == ["TasKy", "Do!", "TasKy2"]
 
     def test_do_schema(self, paper_tasky):
         assert paper_tasky.do.columns("Todo") == ("author", "task")

@@ -1,0 +1,97 @@
+"""Deterministic schema fingerprints: stability, sensitivity, dedup."""
+
+from __future__ import annotations
+
+import repro
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.persist.fingerprint import (
+    catalog_fingerprint,
+    engine_layout,
+    layout_fingerprint,
+    sqlite_layout,
+    version_fingerprint,
+)
+
+SCRIPT = """
+CREATE SCHEMA VERSION v1 WITH
+CREATE TABLE R(a INTEGER, b TEXT);
+CREATE SCHEMA VERSION v2 FROM v1 WITH
+RENAME COLUMN a IN R TO aa;
+"""
+
+
+def build(script: str = SCRIPT) -> repro.InVerDa:
+    engine = repro.InVerDa()
+    engine.execute(script)
+    return engine
+
+
+class TestVersionFingerprint:
+    def test_deterministic_across_engines(self):
+        a, b = build(), build()
+        for name in a.version_names():
+            assert version_fingerprint(
+                a.genealogy.schema_version(name)
+            ) == version_fingerprint(b.genealogy.schema_version(name))
+
+    def test_sensitive_to_column_rename(self):
+        engine = build()
+        v1 = engine.genealogy.schema_version("v1")
+        v2 = engine.genealogy.schema_version("v2")
+        assert version_fingerprint(v1) != version_fingerprint(v2)
+
+    def test_identical_shapes_share_fingerprint(self):
+        engine = build(
+            SCRIPT + "CREATE SCHEMA VERSION v3 FROM v2 WITH RENAME COLUMN aa IN R TO a;"
+        )
+        v1 = engine.genealogy.schema_version("v1")
+        v3 = engine.genealogy.schema_version("v3")
+        assert version_fingerprint(v1) == version_fingerprint(v3)
+
+    def test_hex_sha256_shape(self):
+        engine = build()
+        fp = version_fingerprint(engine.genealogy.schema_version("v1"))
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+
+class TestCatalogFingerprint:
+    def test_moves_on_every_transition(self):
+        engine = build()
+        seen = {catalog_fingerprint(engine)}
+        engine.execute("CREATE SCHEMA VERSION v3 FROM v2 WITH ADD COLUMN c AS 1 INTO R;")
+        seen.add(catalog_fingerprint(engine))
+        engine.execute("MATERIALIZE 'v3';")
+        seen.add(catalog_fingerprint(engine))
+        engine.drop_schema_version("v1")
+        seen.add(catalog_fingerprint(engine))
+        assert len(seen) == 4
+
+    def test_memoized_method_matches_module_function(self):
+        engine = build()
+        assert engine.catalog_fingerprint() == catalog_fingerprint(engine)
+        # memo invalidates on the next transition
+        engine.execute("MATERIALIZE 'v2';")
+        assert engine.catalog_fingerprint() == catalog_fingerprint(engine)
+
+    def test_deterministic_across_engines(self):
+        assert catalog_fingerprint(build()) == catalog_fingerprint(build())
+
+
+class TestLayoutFingerprint:
+    def test_layout_matches_live_sqlite(self):
+        engine = build()
+        backend = LiveSqliteBackend.attach(engine)
+        try:
+            expected = engine_layout(engine)
+            actual = sqlite_layout(backend.connection, list(expected))
+            assert expected == actual
+            assert layout_fingerprint(expected) == layout_fingerprint(actual)
+        finally:
+            backend.close()
+
+    def test_layout_moves_with_materialization(self):
+        engine = build()
+        before = layout_fingerprint(engine_layout(engine))
+        engine.execute("MATERIALIZE 'v2';")
+        assert layout_fingerprint(engine_layout(engine)) != before

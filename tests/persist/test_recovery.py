@@ -1,0 +1,223 @@
+"""Recovering engines from persisted catalogs: replay, verify, reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.backend import codegen
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.errors import CatalogCorruptError, CatalogError
+from repro.workloads.tasky import build_tasky
+
+SCRIPT = """
+CREATE SCHEMA VERSION v1 WITH
+CREATE TABLE R(a INTEGER, b TEXT);
+CREATE SCHEMA VERSION v2 FROM v1 WITH
+ADD COLUMN c AS a * 2 INTO R;
+"""
+
+
+def build_tasky_file(path: str):
+    scenario = build_tasky(20)
+    backend = LiveSqliteBackend.attach(scenario.engine, database=path)
+    backend.close()
+    return scenario.engine
+
+
+class TestReopen:
+    def test_serves_every_version_with_data(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        original = build_tasky_file(path)
+        engine = repro.open(path)
+        try:
+            assert engine.version_names() == original.version_names()
+            for name in engine.version_names():
+                assert engine.genealogy.schema_version(name).describe() == (
+                    original.genealogy.schema_version(name).describe()
+                )
+            conn = repro.connect(engine, "TasKy")
+            assert len(conn.execute("SELECT author, task FROM Task").fetchall()) == 20
+            conn.close()
+        finally:
+            engine.live_backend.close()
+
+    def test_version_order_survives_restart(self, tmp_path):
+        # Regression: genealogy iteration is insertion-ordered, and the
+        # persisted catalog must preserve it — a name-sorted order would
+        # reshuffle fingerprints and log positions between runs.
+        path = str(tmp_path / "tasky.db")
+        original = build_tasky_file(path)
+        assert original.version_names() == ["TasKy", "Do!", "TasKy2"]
+        engine = repro.open(path)
+        try:
+            assert engine.version_names() == ["TasKy", "Do!", "TasKy2"]
+            assert engine.catalog_fingerprint() == original.catalog_fingerprint()
+            assert engine.catalog_generation == original.catalog_generation
+        finally:
+            engine.live_backend.close()
+
+    def test_recovery_survives_materialization_and_drop(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        scenario = build_tasky(10)
+        backend = LiveSqliteBackend.attach(scenario.engine, database=path)
+        scenario.engine.execute("MATERIALIZE 'TasKy2';")
+        scenario.engine.drop_schema_version("TasKy")
+        backend.close()
+        engine = repro.open(path)
+        try:
+            assert engine.version_names() == ["Do!", "TasKy2"]
+            assert {
+                smo.uid for smo in engine.genealogy.evolution_smos() if smo.materialized
+            } == {
+                smo.uid
+                for smo in scenario.engine.genealogy.evolution_smos()
+                if smo.materialized
+            }
+            conn = repro.connect(engine, "TasKy2")
+            assert len(conn.execute("SELECT task, prio FROM Task").fetchall()) == 10
+            conn.close()
+        finally:
+            engine.live_backend.close()
+
+    def test_open_missing_file_with_create_false(self, tmp_path):
+        with pytest.raises(CatalogError, match="no persisted catalog"):
+            repro.open(str(tmp_path / "nope.db"), create=False)
+
+    def test_open_starts_empty_then_persists(self, tmp_path):
+        path = str(tmp_path / "grow.db")
+        engine = repro.open(path)
+        engine.execute(SCRIPT)
+        engine.live_backend.close()
+        again = repro.open(path, create=False)
+        try:
+            assert again.version_names() == ["v1", "v2"]
+        finally:
+            again.live_backend.close()
+
+
+class TestDeltaCodeReuse:
+    def test_reopen_reuses_views_without_duplicates(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        engine = repro.open(path)
+        backend = engine.live_backend
+        try:
+            assert backend.recovered
+            assert backend.delta_reused
+            views, triggers = codegen.generated_object_names(backend.connection)
+            engine2 = None
+            backend.close()
+            engine2 = repro.open(path)
+            backend2 = engine2.live_backend
+            try:
+                assert backend2.delta_reused
+                assert (
+                    codegen.generated_object_names(backend2.connection)
+                    == (views, triggers)
+                )
+            finally:
+                backend2.close()
+        finally:
+            if not backend._closed:
+                backend.close()
+
+    def test_flatten_change_regenerates(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        engine = repro.open(path, flatten=False)
+        try:
+            backend = engine.live_backend
+            assert backend.recovered and not backend.delta_reused
+            conn = repro.connect(engine, "Do!")
+            conn.execute("SELECT author, task FROM Todo").fetchall()
+            conn.close()
+        finally:
+            engine.live_backend.close()
+
+    def test_reattach_same_engine_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        scenario = build_tasky(5)
+        backend = LiveSqliteBackend.attach(scenario.engine, database=path)
+        views, triggers = codegen.generated_object_names(backend.connection)
+        backend.close()
+        again = LiveSqliteBackend.attach(scenario.engine, database=path)
+        try:
+            assert again.recovered and again.delta_reused
+            assert codegen.generated_object_names(again.connection) == (views, triggers)
+            conn = repro.connect(scenario.engine, "TasKy", backend=again)
+            assert len(conn.execute("SELECT author, task FROM Task").fetchall()) == 5
+            conn.close()
+        finally:
+            again.close()
+
+    def test_reattach_different_catalog_refused(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        other = repro.InVerDa()
+        other.execute(SCRIPT)
+        with pytest.raises(CatalogError, match="different catalog"):
+            LiveSqliteBackend.attach(other, database=path)
+
+
+class TestCorruption:
+    def _corrupt(self, path: str) -> str:
+        """Drop one physical data table behind the catalog's back."""
+        import sqlite3
+
+        connection = sqlite3.connect(path)
+        (name,) = connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name LIKE 'd_%' ORDER BY name LIMIT 1"
+        ).fetchone()
+        connection.executescript(f'DROP TABLE "{name}"')
+        connection.close()
+        return name
+
+    def test_missing_table_detected(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        name = self._corrupt(path)
+        with pytest.raises(CatalogCorruptError, match=name):
+            repro.open(path)
+
+    def test_repair_recreates_missing_table_empty(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        self._corrupt(path)
+        engine = repro.open(path, repair=True)
+        try:
+            conn = repro.connect(engine, "TasKy")
+            conn.execute("SELECT author, task, prio FROM Task").fetchall()
+            conn.close()
+        finally:
+            engine.live_backend.close()
+
+    def test_force_skips_verification(self, tmp_path):
+        path = str(tmp_path / "tasky.db")
+        build_tasky_file(path)
+        self._corrupt(path)
+        engine = repro.open(path, force=True)
+        assert engine.version_names() == ["TasKy", "Do!", "TasKy2"]
+        engine.live_backend.close()
+
+
+class TestMultiProcess:
+    def test_second_opener_sees_catalog_move(self, tmp_path):
+        path = str(tmp_path / "shared.db")
+        writer = repro.open(path)
+        writer.execute(SCRIPT)
+        reader = repro.open(path)
+        try:
+            assert reader.live_backend.catalog_stats()["stale"] is False
+            writer.execute(
+                "CREATE SCHEMA VERSION v3 FROM v2 WITH RENAME COLUMN b IN R TO bb;"
+            )
+            stats = reader.live_backend.catalog_stats()
+            assert stats["on_disk_generation"] == writer.catalog_generation
+            assert stats["on_disk_generation"] > reader.catalog_generation
+            assert stats["stale"] is True
+            assert writer.live_backend.catalog_stats()["stale"] is False
+        finally:
+            reader.live_backend.close()
+            writer.live_backend.close()

@@ -1,0 +1,80 @@
+"""Catalog durability facts surfaced through stats() and server status."""
+
+from __future__ import annotations
+
+import repro
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.server.client import connect_remote
+from repro.server.server import ReproServer
+
+SCRIPT = """
+CREATE SCHEMA VERSION v1 WITH
+CREATE TABLE R(a INTEGER, b TEXT);
+CREATE SCHEMA VERSION v2 FROM v1 WITH
+RENAME COLUMN a IN R TO aa;
+"""
+
+
+def build() -> repro.InVerDa:
+    engine = repro.InVerDa()
+    engine.execute(SCRIPT)
+    return engine
+
+
+class TestLocalStats:
+    def test_memory_engine_reports_generation_and_fingerprint(self):
+        engine = build()
+        conn = repro.connect(engine, "v1")
+        try:
+            catalog = conn.stats()["catalog"]
+            assert catalog["generation"] == engine.catalog_generation
+            assert catalog["fingerprint"] == engine.catalog_fingerprint()
+        finally:
+            conn.close()
+
+    def test_live_backend_reports_durability(self, tmp_path):
+        engine = build()
+        backend = LiveSqliteBackend.attach(engine, database=str(tmp_path / "s.db"))
+        conn = repro.connect(engine, "v1", backend=backend)
+        try:
+            catalog = conn.stats()["catalog"]
+            assert catalog["persisted"] is True
+            assert catalog["recovered"] is False
+            assert catalog["generation"] == engine.catalog_generation
+            assert catalog["on_disk_generation"] == engine.catalog_generation
+            assert catalog["stale"] is False
+            assert len(catalog["fingerprint"]) == 64
+        finally:
+            conn.close()
+            backend.close()
+
+    def test_generation_moves_with_the_catalog(self):
+        engine = build()
+        conn = repro.connect(engine, "v1")
+        try:
+            before = conn.stats()["catalog"]
+            engine.execute("MATERIALIZE 'v2';")
+            after = conn.stats()["catalog"]
+            assert after["generation"] == before["generation"] + 1
+            assert after["fingerprint"] != before["fingerprint"]
+        finally:
+            conn.close()
+
+
+class TestRemoteStats:
+    def test_status_and_client_stats_expose_catalog(self, tmp_path):
+        engine = build()
+        backend = LiveSqliteBackend.attach(engine, database=str(tmp_path / "r.db"))
+        try:
+            with ReproServer(engine, backend=backend) as server:
+                status = server.status()
+                assert status["catalog"]["generation"] == engine.catalog_generation
+                assert status["catalog"]["fingerprint"] == engine.catalog_fingerprint()
+                conn = connect_remote(*server.address, "v1", timeout=30.0)
+                try:
+                    catalog = conn.stats()["catalog"]
+                    assert catalog == status["catalog"]
+                finally:
+                    conn.close()
+        finally:
+            backend.close()
