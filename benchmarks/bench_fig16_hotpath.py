@@ -106,6 +106,40 @@ def _cached_vs_cold_interleaved(ops: int = 150) -> tuple[float, float]:
     return cached_s, cold_s
 
 
+def _instrumented_vs_uninstrumented_interleaved(ops: int = 150) -> tuple[float, float]:
+    """(instrumented seconds, uninstrumented seconds) for ``ops``
+    statements each, alternating metrics-on and metrics-off executions of
+    the SAME cached statement on the SAME system — the observability
+    layer's overhead gate."""
+    import time
+
+    from repro.backend.sqlite import LiveSqliteBackend
+    from repro.bench.experiments.fig16 import build_chain
+    from repro.sql.connection import connect
+
+    engine, table = build_chain(DEPTH, ROWS)
+    backend = LiveSqliteBackend.attach(engine, flatten=True)
+    conn = connect(engine, f"S{DEPTH}", autocommit=True, backend=backend)
+    sql = f"SELECT count(rowid), sum(b) FROM {table}"
+    conn.execute(sql).fetchall()  # warm session, plan cache, metric series
+    on_s = off_s = 0.0
+    try:
+        for _ in range(ops):
+            engine.metrics.enabled = True
+            start = time.perf_counter()
+            conn.execute(sql).fetchall()
+            on_s += time.perf_counter() - start
+            engine.metrics.enabled = False
+            start = time.perf_counter()
+            conn.execute(sql).fetchall()
+            off_s += time.perf_counter() - start
+    finally:
+        engine.metrics.enabled = True
+        conn.close()
+        backend.close()
+    return on_s, off_s
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Statement hot path vs SMO-chain depth (fig16)."
@@ -113,8 +147,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small CI workload; asserts cached>cold and flat>=2x nested at "
-        "depth 16, and records BENCH_fig16.json",
+        help="small CI workload; asserts cached>cold, flat>=2x nested at "
+        "depth 16, and metrics overhead <=5%%; records BENCH_fig16.json",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -156,6 +190,26 @@ def main(argv=None) -> int:
             f"flattened views regressed below the 2x floor: {flat:.1f} vs "
             f"{nested:.1f} ops/s at depth {DEPTH}"
         )
+        # The observability bound: the instrumented hot path (metrics
+        # registry enabled, tracing off — the production default) must
+        # stay within 5% of the uninstrumented baseline.  Interleaved on
+        # one system so ambient CI load skews both sides equally.
+        for attempt in range(1, 4):
+            on_s, off_s = _instrumented_vs_uninstrumented_interleaved()
+            overhead = (on_s / off_s - 1.0) * 100.0
+            print(
+                f"instrumentation at depth {DEPTH} (attempt {attempt}): "
+                f"metrics-on {on_s:.3f}s vs metrics-off {off_s:.3f}s "
+                f"({overhead:+.2f}% overhead)"
+            )
+            if on_s <= off_s * 1.05:
+                break
+        else:
+            raise AssertionError(
+                f"metrics instrumentation exceeds the 5% overhead bound in "
+                f"3 attempts: last {on_s:.3f}s vs {off_s:.3f}s "
+                f"({overhead:+.2f}%)"
+            )
         print("smoke OK")
     return 0
 

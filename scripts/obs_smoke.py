@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Observability smoke test: the metrics endpoint of a live server.
+
+Exercises the scrape path the way a Prometheus deployment would:
+
+1. start ``python -m repro.server --demo --metrics-port 0``;
+2. run a handful of statements over TCP;
+3. ``GET /metrics`` and assert the core series are present with the
+   right types;
+4. run more statements, scrape again, and assert the counters moved
+   monotonically (a scrape endpoint that resets between scrapes is
+   useless to a rate() query).
+
+Run from the repository root: ``PYTHONPATH=src python scripts/obs_smoke.py``
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server.client import connect_remote  # noqa: E402
+
+CORE_SERIES = {
+    "repro_statements_total": "counter",
+    "repro_statement_latency_seconds": "histogram",
+    "repro_plan_cache_events_total": "counter",
+    "repro_server_requests_total": "counter",
+    "repro_server_clients": "gauge",
+    "repro_catalog_generation": "gauge",
+}
+
+
+def start_server() -> tuple[subprocess.Popen, str, int, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.server", "--port", "0",
+            "--demo", "--demo-rows", "20", "--metrics-port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = metrics_url = None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"  [server] {line}")
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            address = (match.group(1), int(match.group(2)))
+        match = re.search(r"metrics endpoint on (\S+)", line)
+        if match:
+            metrics_url = match.group(1)
+        if address and metrics_url:
+            return process, address[0], address[1], metrics_url
+    process.kill()
+    raise SystemExit("server did not report both addresses")
+
+
+def scrape(metrics_url: str) -> str:
+    return urllib.request.urlopen(metrics_url, timeout=10.0).read().decode("utf-8")
+
+
+def counter_value(text: str, sample: str) -> float:
+    """Sum every series of a counter family (or read one exact sample)."""
+    total, found = 0.0, False
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        if name == sample:
+            total += float(line.rsplit(" ", 1)[1])
+            found = True
+    assert found, f"no samples for {sample!r} in scrape:\n{text}"
+    return total
+
+
+def run_statements(host: str, port: int, ops: int) -> None:
+    conn = connect_remote(host, port, "TasKy", timeout=10.0, autocommit=True)
+    try:
+        for _ in range(ops):
+            conn.execute("SELECT author, task FROM Task").fetchall()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    print("== phase 1: demo server with a metrics endpoint")
+    process, host, port, metrics_url = start_server()
+    try:
+        run_statements(host, port, 5)
+
+        print("== phase 2: scrape and check the core series")
+        first = scrape(metrics_url)
+        for family, metric_type in CORE_SERIES.items():
+            type_line = f"# TYPE {family} {metric_type}"
+            assert type_line in first, f"missing {type_line!r} in scrape"
+        assert 'repro_statement_latency_seconds_bucket' in first
+        assert 'le="+Inf"' in first
+        print(f"  {len(CORE_SERIES)} core series present")
+
+        print("== phase 3: counters are monotone across scrapes")
+        before = counter_value(first, "repro_statements_total")
+        requests_before = counter_value(first, "repro_server_requests_total")
+        run_statements(host, port, 5)
+        second = scrape(metrics_url)
+        after = counter_value(second, "repro_statements_total")
+        requests_after = counter_value(second, "repro_server_requests_total")
+        assert after == before + 5, (
+            f"repro_statements_total moved {before} -> {after}, expected +5"
+        )
+        assert requests_after > requests_before, (
+            f"repro_server_requests_total did not advance: "
+            f"{requests_before} -> {requests_after}"
+        )
+        print(f"  repro_statements_total {before} -> {after}; "
+              f"repro_server_requests_total {requests_before} -> {requests_after}")
+    finally:
+        process.send_signal(signal.SIGKILL)
+        process.wait()
+
+    print("observability smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,13 @@ would hit it:
 1. start ``python -m repro.server --demo --database state.db``;
 2. over TCP, write a marker row and record the catalog fingerprint;
 3. ``SIGKILL`` the server — no clean shutdown, no checkpoint;
-4. restart ``python -m repro.server --db state.db`` (no script/demo:
-   the server must recover everything from the file);
+4. restart ``python -m repro.server --db state.db --metrics-port 0``
+   (no script/demo: the server must recover everything from the file);
 5. every schema version answers again, the marker row survived, the
-   catalog fingerprint is unchanged, and writes still propagate.
+   catalog fingerprint is unchanged, and writes still propagate;
+6. the recovered server reports how long recovery took, and the
+   ``repro_catalog_generation`` gauge on the scrape endpoint matches the
+   generation committed on disk (``on_disk_generation``).
 
 Run from the repository root: ``PYTHONPATH=src python scripts/restart_smoke.py``
 """
@@ -33,7 +36,7 @@ VERSIONS = ["TasKy", "Do!", "TasKy2"]
 MARKER = "restart smoke marker"
 
 
-def start_server(*args: str) -> tuple[subprocess.Popen, str, int]:
+def start_server(*args: str) -> tuple[subprocess.Popen, str, int, str | None]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in ("src", env.get("PYTHONPATH")) if p
@@ -45,6 +48,8 @@ def start_server(*args: str) -> tuple[subprocess.Popen, str, int]:
         text=True,
         env=env,
     )
+    want_metrics = "--metrics-port" in args
+    address = metrics_url = None
     deadline = time.time() + 30
     while time.time() < deadline:
         line = process.stdout.readline()
@@ -53,7 +58,12 @@ def start_server(*args: str) -> tuple[subprocess.Popen, str, int]:
         sys.stdout.write(f"  [server] {line}")
         match = re.search(r"listening on ([\d.]+):(\d+)", line)
         if match:
-            return process, match.group(1), int(match.group(2))
+            address = (match.group(1), int(match.group(2)))
+        match = re.search(r"metrics endpoint on (\S+)", line)
+        if match:
+            metrics_url = match.group(1)
+        if address and (metrics_url or not want_metrics):
+            return process, address[0], address[1], metrics_url
     process.kill()
     raise SystemExit("server did not report a listening address")
 
@@ -74,7 +84,7 @@ def main() -> int:
     database = os.path.join(workdir, "state.db")
 
     print("== phase 1: demo server builds the catalog into the database file")
-    process, host, port = start_server(
+    process, host, port, _metrics = start_server(
         "--demo", "--demo-rows", "20", "--database", database
     )
     try:
@@ -95,7 +105,9 @@ def main() -> int:
         process.wait()
 
     print("== phase 3: restart from the bare file (no --script, no --demo)")
-    process, host, port = start_server("--db", database)
+    process, host, port, metrics_url = start_server(
+        "--db", database, "--metrics-port", "0"
+    )
     try:
         conn = connect(host, port, "TasKy")
         status = conn.server_status()
@@ -105,6 +117,34 @@ def main() -> int:
         )
         assert status["catalog"]["generation"] == generation
         assert status["versions"] == VERSIONS, status["versions"]
+
+        # Observability of the recovery itself: the status reports how
+        # long recovery took, and the catalog-generation gauge on the
+        # scrape endpoint matches the generation committed on disk.
+        recovery_seconds = status["catalog"]["recovery_seconds"]
+        assert isinstance(recovery_seconds, float) and recovery_seconds > 0, (
+            f"recovered server did not report a recovery duration: "
+            f"{recovery_seconds!r}"
+        )
+        on_disk = status["catalog"]["on_disk_generation"]
+        assert on_disk == generation, (
+            f"on-disk generation drifted across restart: {on_disk} != {generation}"
+        )
+        import urllib.request
+
+        scrape = (
+            urllib.request.urlopen(metrics_url, timeout=10.0)
+            .read()
+            .decode("utf-8")
+        )
+        assert f"repro_catalog_generation {on_disk}" in scrape, (
+            "repro_catalog_generation gauge does not match the on-disk "
+            f"generation {on_disk}:\n" + scrape
+        )
+        assert "repro_recoveries_total 1" in scrape, scrape
+        assert "repro_recovery_duration_seconds_count 1" in scrape, scrape
+        print(f"  recovery reported: {recovery_seconds * 1000:.1f} ms; "
+              f"generation gauge == on-disk generation {on_disk}")
         conn.close()
 
         expectations = {

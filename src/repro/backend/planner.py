@@ -148,16 +148,25 @@ def _max_param_index(expression) -> int:
 class SqliteSelectPlan:
     kind = "select"
 
-    def __init__(self, sql: str, description: tuple, param_count: int):
+    def __init__(self, sql: str, description: tuple, param_count: int,
+                 view_name: str = ""):
         self.sql = sql
         self.description = description
         self.param_count = param_count
+        self.view_name = view_name
 
     def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
         rows = session.execute(self.sql, params).fetchall()
         return StatementResult(
             description=self.description, rows=rows, rowcount=len(rows)
         )
+
+    def explain_entries(self) -> list[tuple[str, str]]:
+        return [
+            ("plan", type(self).__name__),
+            ("view", self.view_name),
+            ("backend_sql", self.sql),
+        ]
 
 
 class SqliteInsertPlan:
@@ -210,15 +219,36 @@ class SqliteInsertPlan:
             session.cursor().executemany(self.insert_sql, rows)
         return StatementResult(rowcount=len(keys), lastrowid=keys[-1] if keys else None)
 
+    @property
+    def view_name(self) -> str:
+        return self.tv.view_name
+
+    def explain_entries(self) -> list[tuple[str, str]]:
+        return [
+            ("plan", type(self).__name__),
+            ("view", self.view_name),
+            ("backend_sql", self.insert_sql),
+        ]
+
 
 class SqliteUpdatePlan:
     kind = "update"
 
-    def __init__(self, count_sql: str, dml_sql: str, where_params: int, param_count: int):
+    def __init__(self, count_sql: str, dml_sql: str, where_params: int,
+                 param_count: int, view_name: str = ""):
         self.count_sql = count_sql
         self.dml_sql = dml_sql
         self.where_params = where_params
         self.param_count = param_count
+        self.view_name = view_name
+
+    def explain_entries(self) -> list[tuple[str, str]]:
+        return [
+            ("plan", type(self).__name__),
+            ("view", self.view_name),
+            ("backend_sql", self.dml_sql),
+            ("count_sql", self.count_sql),
+        ]
 
     def run(self, session: "SqliteSession", params: tuple) -> StatementResult:
         count = int(
@@ -258,7 +288,7 @@ def compile_select(version: SchemaVersion, stmt: Select) -> SqliteSelectPlan:
         sql += f" LIMIT {renderer.render(stmt.limit)}"
         if stmt.offset is not None:
             sql += f" OFFSET {renderer.render(stmt.offset)}"
-    return SqliteSelectPlan(sql, description, stmt.param_count)
+    return SqliteSelectPlan(sql, description, stmt.param_count, tv.view_name)
 
 
 def compile_insert(version: SchemaVersion, stmt: Insert) -> SqliteInsertPlan:
@@ -287,7 +317,8 @@ def compile_update(version: SchemaVersion, stmt: Update) -> SqliteUpdatePlan:
     count_sql = f"SELECT COUNT(*) FROM {tv.view_name}" + where_sql
     dml_sql = f"UPDATE {tv.view_name} SET {', '.join(sets)}" + where_sql
     return SqliteUpdatePlan(
-        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count
+        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count,
+        tv.view_name,
     )
 
 
@@ -298,7 +329,8 @@ def compile_delete(version: SchemaVersion, stmt: Delete) -> SqliteDeletePlan:
     count_sql = f"SELECT COUNT(*) FROM {tv.view_name}" + where_sql
     dml_sql = f"DELETE FROM {tv.view_name}" + where_sql
     return SqliteDeletePlan(
-        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count
+        count_sql, dml_sql, _max_param_index(stmt.where), stmt.param_count,
+        tv.view_name,
     )
 
 

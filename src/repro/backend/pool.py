@@ -68,6 +68,9 @@ class SessionPool:
     - ``plan_cache_stats`` — optional zero-argument callable returning the
       engine's plan-cache counters; when set, :meth:`stats` folds them in
       so one ``status`` round trip reports pool *and* cache health.
+    - ``metrics`` — optional :class:`repro.obs.MetricsRegistry`; when set,
+      lease waits land in ``repro_pool_lease_wait_seconds`` and occupancy
+      in ``repro_pool_sessions{state=leased|idle}``.
     """
 
     def __init__(
@@ -82,6 +85,7 @@ class SessionPool:
         acquire_timeout: float = 30.0,
         cached_statements: int = 256,
         plan_cache_stats=None,
+        metrics=None,
     ):
         self.database = database
         self.uri = uri
@@ -92,6 +96,18 @@ class SessionPool:
         self.acquire_timeout = acquire_timeout
         self.cached_statements = cached_statements
         self.plan_cache_stats = plan_cache_stats
+        self._lease_wait = None
+        self._sessions_gauge = None
+        if metrics is not None:
+            self._lease_wait = metrics.histogram(
+                "repro_pool_lease_wait_seconds",
+                "Time spent waiting to lease a pooled session.",
+            )
+            self._sessions_gauge = metrics.gauge(
+                "repro_pool_sessions",
+                "Pooled sessions by state.",
+                ("state",),
+            )
         self._idle: list[sqlite3.Connection] = []
         self._leased = 0
         self._closed = False
@@ -136,6 +152,7 @@ class SessionPool:
     # ------------------------------------------------------------------
 
     def acquire(self) -> sqlite3.Connection:
+        wait_start = time.perf_counter()
         with self._cond:
             if self._closed:
                 raise OperationalError("the connection pool is closed")
@@ -151,15 +168,31 @@ class SessionPool:
                     if self._closed:
                         raise OperationalError("the connection pool is closed")
             self._leased += 1
-            if self._idle:
-                return self._idle.pop()
+            handle = self._idle.pop() if self._idle else None
+        self._observe_lease(wait_start)
+        if handle is not None:
+            return handle
         try:
             return self.connect()
         except BaseException:
             with self._cond:
                 self._leased -= 1
                 self._cond.notify()
+            self._publish_occupancy()
             raise
+
+    def _observe_lease(self, wait_start: float) -> None:
+        if self._lease_wait is not None:
+            self._lease_wait.observe(time.perf_counter() - wait_start)
+        self._publish_occupancy()
+
+    def _publish_occupancy(self) -> None:
+        if self._sessions_gauge is None:
+            return
+        with self._cond:
+            leased, idle = self._leased, len(self._idle)
+        self._sessions_gauge.set(leased, state="leased")
+        self._sessions_gauge.set(idle, state="idle")
 
     def release(self, connection: sqlite3.Connection) -> None:
         """Return a handle to the pool; any open transaction is rolled
@@ -180,6 +213,7 @@ class SessionPool:
                 self._idle.append(connection)
                 connection = None  # type: ignore[assignment]
             self._cond.notify()
+        self._publish_occupancy()
         if connection is not None:
             connection.close()
 
@@ -210,6 +244,8 @@ class SessionPool:
             }
         if self.plan_cache_stats is not None:
             payload["plan_cache"] = self.plan_cache_stats()
+        if self._lease_wait is not None:
+            payload["lease_waits"] = self._lease_wait.series_stats()
         return payload
 
     # ------------------------------------------------------------------

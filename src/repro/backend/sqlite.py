@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from typing import TYPE_CHECKING
 
 from repro.backend import codegen, emit
@@ -169,6 +170,10 @@ class LiveSqliteBackend:
         #: (the persisted delta generation matched) instead of
         #: regenerating them.
         self.delta_reused = False
+        #: Wall-clock seconds the whole attach-side recovery took (log
+        #: replay, verification, and delta regeneration when needed);
+        #: ``None`` until a recovery has run.
+        self.recovery_seconds = None
         # Test hook: callable(point: str) invoked at named points inside
         # catalog transitions, so the crash-safety suite can simulate a
         # process dying between the catalog write and the commit.
@@ -238,6 +243,7 @@ class LiveSqliteBackend:
             busy_timeout=busy_timeout,
             cached_statements=cached_statements,
             plan_cache_stats=engine.plan_cache.stats,
+            metrics=engine.metrics,
         )
         from repro.persist.store import CatalogStore
 
@@ -284,6 +290,7 @@ class LiveSqliteBackend:
         from repro.persist.recovery import recover
         from repro.persist.store import CatalogStore
 
+        recover_started = time.perf_counter()
         store = CatalogStore(self.connection)
         if self.engine.genealogy.schema_versions:
             # Re-attach of an engine that already holds this catalog
@@ -297,6 +304,9 @@ class LiveSqliteBackend:
                     "attach a fresh engine (repro.open) or use another file"
                 )
             self.engine.catalog_generation = state.generation
+            self.engine.metrics.gauge("repro_catalog_generation").set(
+                state.generation
+            )
         else:
             state = recover(self.engine, self.connection, repair=repair, force=force)
         self.store = store
@@ -307,6 +317,7 @@ class LiveSqliteBackend:
             and self._delta_installed()
         ):
             self.delta_reused = True
+            self.recovery_seconds = time.perf_counter() - recover_started
             return
         self._begin()
         try:
@@ -317,6 +328,7 @@ class LiveSqliteBackend:
         except BaseException:
             self._abort()
             raise
+        self.recovery_seconds = time.perf_counter() - recover_started
 
     def _delta_installed(self) -> bool:
         """Does the database hold a view for every active table version?
@@ -555,6 +567,7 @@ class LiveSqliteBackend:
             "persisted": self.store is not None,
             "recovered": self.recovered,
             "delta_reused": self.delta_reused,
+            "recovery_seconds": self.recovery_seconds,
         }
         if self.store is not None:
             on_disk = self.store.read_generation()

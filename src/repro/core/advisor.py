@@ -42,7 +42,6 @@ class WorkloadProfile:
         return set(self.reads) | set(self.writes)
 
 
-@dataclass
 class WorkloadRecorder:
     """Live per-version access counters fed by the DB-API cursors.
 
@@ -52,20 +51,58 @@ class WorkloadRecorder:
     traffic into the :class:`WorkloadProfile` the materialization advisor
     consumes, so the advisor runs off observed workloads instead of
     hand-built profiles.
+
+    The recorder is a *view* over the engine's metrics registry: every
+    statement lands in the ``repro_statements_total{version, kind}``
+    counter family, and :attr:`reads`/:attr:`writes` aggregate that
+    family per version (``select`` counts as a read; ``insert``,
+    ``update``, ``delete``, and the legacy ``write`` kind as writes;
+    ``ddl``/``explain`` are counted but excluded from the profile).
+    The advisor therefore reads the same numbers a scrape does.
     """
 
-    reads: dict[str, int] = field(default_factory=dict)
-    writes: dict[str, int] = field(default_factory=dict)
+    READ_KINDS = frozenset({"select"})
+    EXCLUDED_KINDS = frozenset({"ddl", "explain"})
+
+    def __init__(self, metrics=None):
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self._counter = metrics.counter(
+            "repro_statements_total",
+            "Statements executed, by schema version and statement kind.",
+            ("version", "kind"),
+        )
+
+    def record(self, version_name: str, kind: str, count: int = 1) -> None:
+        self._counter.inc(count, version=version_name, kind=kind)
 
     def record_read(self, version_name: str, count: int = 1) -> None:
-        self.reads[version_name] = self.reads.get(version_name, 0) + count
+        self.record(version_name, "select", count)
 
     def record_write(self, version_name: str, count: int = 1) -> None:
-        self.writes[version_name] = self.writes.get(version_name, 0) + count
+        self.record(version_name, "write", count)
+
+    def _aggregate(self, want_reads: bool) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for (version, kind), value in self._counter.values().items():
+            if kind in self.EXCLUDED_KINDS:
+                continue
+            if (kind in self.READ_KINDS) == want_reads:
+                totals[version] = totals.get(version, 0) + value
+        return totals
+
+    @property
+    def reads(self) -> dict[str, int]:
+        return self._aggregate(True)
+
+    @property
+    def writes(self) -> dict[str, int]:
+        return self._aggregate(False)
 
     def reset(self) -> None:
-        self.reads.clear()
-        self.writes.clear()
+        self._counter.reset()
 
     @property
     def empty(self) -> bool:

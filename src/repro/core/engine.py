@@ -25,6 +25,7 @@ provides an incremental fast path and by a full lens put otherwise.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable
 from contextlib import contextmanager
 
@@ -78,6 +79,9 @@ class RWLock:
         self._writer: int | None = None
         self._writer_depth = 0
         self._writers_waiting = 0
+        # Optional observer(seconds) told how long each writer waited for
+        # exclusivity (the engine binds repro_rwlock_write_wait_seconds).
+        self.write_wait_observer = None
 
     @contextmanager
     def read_locked(self):
@@ -102,16 +106,21 @@ class RWLock:
     @contextmanager
     def write_locked(self):
         me = threading.get_ident()
+        waited = None
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
             else:
                 self._writers_waiting += 1
+                wait_start = time.perf_counter()
                 while self._writer is not None or self._readers:
                     self._cond.wait()
+                waited = time.perf_counter() - wait_start
                 self._writers_waiting -= 1
                 self._writer = me
                 self._writer_depth = 1
+        if waited is not None and self.write_wait_observer is not None:
+            self.write_wait_observer(waited)
         try:
             yield
         finally:
@@ -153,11 +162,51 @@ class InVerDa:
         # (generation, fingerprint) memo for catalog_fingerprint().
         self._fingerprint_memo: tuple[int, str] | None = None
         from repro.core.advisor import WorkloadRecorder
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracing import Tracer
         from repro.sql.plancache import PlanCache
 
-        self.workload = WorkloadRecorder()
+        # Observability: one registry and one tracer per engine. Every
+        # instrumented component (plan cache, workload recorder, session
+        # pool, server, recovery) binds its series here.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.workload = WorkloadRecorder(self.metrics)
         self.plan_cache = PlanCache()
+        self.plan_cache.bind_metrics(self.metrics)
         self.add_catalog_listener(self.plan_cache.on_catalog_event)
+        self._transition_seconds = self.metrics.histogram(
+            "repro_transition_duration_seconds",
+            "Catalog transition duration by kind.",
+            ("kind",),
+        )
+        self._transitions_total = self.metrics.counter(
+            "repro_transitions_total",
+            "Catalog transitions completed by kind.",
+            ("kind",),
+        )
+        self._generation_gauge = self.metrics.gauge(
+            "repro_catalog_generation",
+            "Current catalog generation (bumped on every transition).",
+        )
+        self._generation_gauge.set(0)
+        rwlock_wait = self.metrics.histogram(
+            "repro_rwlock_write_wait_seconds",
+            "Time catalog transitions waited to acquire the writer lock.",
+        )
+        self.catalog_lock.write_wait_observer = rwlock_wait.observe
+
+    @contextmanager
+    def _timed_transition(self, kind: str):
+        """Record duration + count of a catalog transition and keep the
+        generation gauge current (``kind`` in evolve|materialize|drop)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._generation_gauge.set(self.catalog_generation)
+        self._transition_seconds.observe(time.perf_counter() - started, kind=kind)
+        self._transitions_total.inc(kind=kind)
 
     # ------------------------------------------------------------------
     # Execution backends
@@ -249,7 +298,7 @@ class InVerDa:
     # ------------------------------------------------------------------
 
     def create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
-        with self.catalog_lock.write_locked():
+        with self.catalog_lock.write_locked(), self._timed_transition("evolve"):
             self._quiesce_backends()
             version = self._create_schema_version(statement)
             # The generation moves BEFORE the backend hooks run, so a
@@ -362,7 +411,7 @@ class InVerDa:
     # ------------------------------------------------------------------
 
     def drop_schema_version(self, name: str) -> None:
-        with self.catalog_lock.write_locked():
+        with self.catalog_lock.write_locked(), self._timed_transition("drop"):
             self._quiesce_backends()
             removed = self._drop_schema_version(name)
             self.catalog_generation += 1
@@ -772,7 +821,7 @@ class InVerDa:
         then swapped in atomically; afterwards every SMO's materialization
         flag is updated and obsolete tables are dropped.
         """
-        with self.catalog_lock.write_locked():
+        with self.catalog_lock.write_locked(), self._timed_transition("materialize"):
             self._quiesce_backends()
             self._apply_materialization(schema)
             self._notify_catalog("materialize")

@@ -1,0 +1,38 @@
+"""repro.obs — the observability subsystem.
+
+Metrics registry (labeled counters/gauges/histograms with Prometheus
+text exposition), statement tracing with a slow-query log, the unified
+stats snapshot schema, the scrape endpoint, and the timing primitive.
+See ``docs/observability.md`` for the metric catalog and tracing guide.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.snapshot import SNAPSHOT_SCHEMA, engine_snapshot
+from repro.obs.timing import Stopwatch
+from repro.obs.tracing import Span, SlowQuery, Trace, TraceBuilder, Tracer, new_id
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SNAPSHOT_SCHEMA",
+    "SlowQuery",
+    "Span",
+    "Stopwatch",
+    "Trace",
+    "TraceBuilder",
+    "Tracer",
+    "engine_snapshot",
+    "new_id",
+    "MetricsHTTPServer",
+]
+
+from repro.obs.http import MetricsHTTPServer  # noqa: E402  (after core names)

@@ -1,0 +1,68 @@
+"""A tiny scrape endpoint: ``GET /metrics`` in Prometheus text format.
+
+Stdlib-only (``http.server``), started by ``python -m repro.server
+--metrics-port N`` on a daemon thread next to the TCP server.  Serves:
+
+* ``GET /metrics`` — the registry in text exposition format 0.0.4
+* ``GET /``        — a one-line index pointing at ``/metrics``
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = self.server.registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+        elif self.path == "/":
+            body = b"repro metrics endpoint; scrape /metrics\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes every few seconds would otherwise spam stderr
+
+
+class MetricsHTTPServer:
+    """Threaded HTTP server exposing one registry; ``port=0`` picks an
+    ephemeral port (read it back from :attr:`address`)."""
+
+    def __init__(self, registry, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = registry
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,225 @@
+"""Statement tracing: spans, traces, slow-query ring buffer.
+
+A :class:`Tracer` (one per engine; the remote driver holds its own for
+the client side) records **traces** — a root span plus children — for
+individual statements.  Tracing is *disabled by default*; when off, the
+cursor's fast path does one attribute check and moves on.  Two things
+can switch a statement into traced mode:
+
+* the tracer is enabled (``connect(trace=True)``, ``--trace``), or
+* the frame arrived with a trace context from a remote client — the
+  server always continues a span the client started, so a traced remote
+  statement yields one trace across both processes.
+
+Independent of tracing, every tracer keeps a **slow-query log**: a ring
+buffer of statements whose wall time exceeded ``slow_ms`` (per-tracer
+default, overridable per connection).  ``slow_ms=None`` disables it.
+
+Trace/span ids are 16-hex-char strings (:func:`new_id`), matching the
+W3C trace-context span-id width; they travel the wire as plain JSON.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+def new_id() -> str:
+    """A random 64-bit id in hex — unique enough for trace correlation."""
+    return os.urandom(8).hex()
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration_ms": self.duration * 1000.0,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class Trace:
+    """A finished trace: the root span first, children after."""
+
+    trace_id: str
+    spans: list[Span]
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id,
+                "spans": [span.to_dict() for span in self.spans]}
+
+
+class TraceBuilder:
+    """Accumulates the spans of one statement; hand out via
+    :meth:`Tracer.begin`, close with :meth:`finish`."""
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 trace_id: str | None = None,
+                 parent_id: str | None = None):
+        self._tracer = tracer
+        self.trace_id = trace_id or new_id()
+        self.root = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=new_id(),
+            parent_id=parent_id,
+            start=time.perf_counter(),
+        )
+        self.spans: list[Span] = [self.root]
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Time a child span of the root around the ``with`` body."""
+        child = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=new_id(),
+            parent_id=self.root.span_id,
+            start=time.perf_counter(),
+            attributes=attributes,
+        )
+        try:
+            yield child
+        finally:
+            child.duration = time.perf_counter() - child.start
+            self.spans.append(child)
+
+    def add_span(self, name: str, duration: float, *,
+                 parent_id: str | None = None, start: float | None = None,
+                 **attributes) -> Span:
+        """Attach an externally-timed span (e.g. network time computed
+        from a reply envelope, or a server-side span joined in)."""
+        child = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=new_id(),
+            parent_id=parent_id or self.root.span_id,
+            start=self.root.start if start is None else start,
+            duration=duration,
+            attributes=attributes,
+        )
+        self.spans.append(child)
+        return child
+
+    def finish(self, **attributes) -> Trace:
+        """Close the root span, record the trace with the tracer."""
+        self.root.duration = time.perf_counter() - self.root.start
+        self.root.attributes.update(attributes)
+        trace = Trace(self.trace_id, self.spans)
+        self._tracer._record(trace)
+        return trace
+
+
+@dataclass
+class SlowQuery:
+    """One slow-query log entry."""
+
+    sql: str
+    version: str
+    duration_ms: float
+    threshold_ms: float
+    trace_id: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"sql": self.sql, "version": self.version,
+                "duration_ms": self.duration_ms,
+                "threshold_ms": self.threshold_ms,
+                "trace_id": self.trace_id}
+
+
+class Tracer:
+    """Per-engine (or per-remote-driver) trace recorder + slow-query log."""
+
+    def __init__(self, *, enabled: bool = False, slow_ms: float | None = None,
+                 max_traces: int = 256, max_slow: int = 128):
+        self.enabled = enabled
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+        self._traces: deque[Trace] = deque(maxlen=max_traces)
+        self._slow: deque[SlowQuery] = deque(maxlen=max_slow)
+        self._trace_count = 0
+        self._slow_count = 0
+
+    def begin(self, name: str, *, trace_id: str | None = None,
+              parent_id: str | None = None) -> TraceBuilder:
+        return TraceBuilder(self, name, trace_id=trace_id, parent_id=parent_id)
+
+    def _record(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            self._trace_count += 1
+
+    def note_statement(self, sql: str, version: str, duration: float, *,
+                       threshold_ms: float | None = None,
+                       trace_id: str | None = None) -> SlowQuery | None:
+        """Log the statement if it crossed the slow threshold.
+
+        ``threshold_ms`` overrides the tracer default (a per-connection
+        ``slow_ms`` knob); ``None`` falls back to ``self.slow_ms``, and
+        when both are unset nothing is ever logged.
+        """
+        limit = self.slow_ms if threshold_ms is None else threshold_ms
+        if limit is None:
+            return None
+        duration_ms = duration * 1000.0
+        if duration_ms < limit:
+            return None
+        entry = SlowQuery(sql=sql, version=version, duration_ms=duration_ms,
+                          threshold_ms=limit, trace_id=trace_id)
+        with self._lock:
+            self._slow.append(entry)
+            self._slow_count += 1
+        return entry
+
+    # -- introspection ---------------------------------------------------
+
+    def recent_traces(self, limit: int | None = None) -> list[Trace]:
+        with self._lock:
+            traces = list(self._traces)
+        return traces if limit is None else traces[-limit:]
+
+    def slow_queries(self, limit: int | None = None) -> list[SlowQuery]:
+        with self._lock:
+            entries = list(self._slow)
+        return entries if limit is None else entries[-limit:]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "slow_ms": self.slow_ms,
+                "traces_recorded": self._trace_count,
+                "traces_buffered": len(self._traces),
+                "slow_queries_recorded": self._slow_count,
+                "slow_queries_buffered": len(self._slow),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._slow.clear()

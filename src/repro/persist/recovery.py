@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import time
 from typing import TYPE_CHECKING
 
 from repro.bidel.ast import CreateSchemaVersion
@@ -177,6 +178,7 @@ def recover(
             "recover() needs a fresh engine; this one already has "
             f"{len(engine.genealogy.schema_versions)} schema versions"
         )
+    started = time.perf_counter()
     state = CatalogStore(connection).load()
     replay_into(engine, state.entries)
     engine.catalog_generation = state.generation
@@ -189,6 +191,20 @@ def recover(
                 "(pass repair=True to recreate missing tables empty, or "
                 "force=True to skip verification):\n- " + "\n- ".join(problems)
             )
+    duration = time.perf_counter() - started
+    engine.metrics.histogram(
+        "repro_recovery_duration_seconds",
+        "Durable-catalog recovery duration (log replay + verification).",
+    ).observe(duration)
+    engine.metrics.counter(
+        "repro_recoveries_total", "Completed catalog recoveries."
+    ).inc()
+    # Recovery moves catalog_generation outside a transition, so the
+    # gauge must follow it here.
+    engine.metrics.gauge(
+        "repro_catalog_generation",
+        "Current catalog generation (bumped on every transition).",
+    ).set(engine.catalog_generation)
     return state
 
 

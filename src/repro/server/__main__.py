@@ -74,6 +74,26 @@ def main(argv=None) -> int:
     parser.add_argument("--max-sessions", type=int, default=None)
     parser.add_argument("--busy-timeout", type=float, default=5.0)
     parser.add_argument("--page-size", type=int, default=256)
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve the metrics registry over HTTP on this port "
+        "(GET /metrics, Prometheus text format; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace for every statement (ring-buffered, "
+        "readable via the status op)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log statements slower than this many milliseconds to the "
+        "slow-query ring buffer",
+    )
     args = parser.parse_args(argv)
     from repro.persist.recovery import database_has_catalog, open_database
 
@@ -109,11 +129,24 @@ def main(argv=None) -> int:
                 max_sessions=args.max_sessions,
                 busy_timeout=args.busy_timeout,
             )
+    engine.tracer.enabled = args.trace
+    if args.slow_ms is not None:
+        engine.tracer.slow_ms = args.slow_ms
+    metrics_http = None
+    if args.metrics_port is not None:
+        from repro.obs.http import MetricsHTTPServer
+
+        metrics_http = MetricsHTTPServer(
+            engine.metrics, host=args.host, port=args.metrics_port
+        ).start()
     server = ReproServer(
         engine, args.host, args.port, backend=backend, page_size=args.page_size
     ).start()
     host, port = server.address
     print(f"repro server listening on {host}:{port}", flush=True)
+    if metrics_http is not None:
+        mhost, mport = metrics_http.address
+        print(f"metrics endpoint on http://{mhost}:{mport}/metrics", flush=True)
     print(f"serving versions: {', '.join(engine.version_names())}", flush=True)
     if backend is not None and backend.store is not None:
         verb = "recovered" if backend.recovered else "persisting"
@@ -129,6 +162,8 @@ def main(argv=None) -> int:
         print("shutting down", flush=True)
     finally:
         server.close()
+        if metrics_http is not None:
+            metrics_http.close()
         if backend is not None:
             backend.close()
     return 0

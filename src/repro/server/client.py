@@ -27,10 +27,12 @@ import itertools
 import socket
 import sys
 import threading
+import time
 from collections.abc import Mapping, Sequence
 from typing import Any
 
 from repro.errors import OperationalError, ProgrammingError
+from repro.obs import Span, Tracer
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.sql.connection import BaseConnection, BaseCursor
@@ -69,31 +71,47 @@ class RemoteCursor(BaseCursor):
     def execute(self, operation: str, parameters: Sequence[Any] | None = None) -> "RemoteCursor":
         connection = self._check_open("execute")
         self._discard_statement()
-        reply = connection._request(
-            {
-                "op": "execute",
-                "sql": operation,
-                "params": _wire_params(parameters),
-                "page_size": connection.page_size,
-            }
-        )
-        self._install_reply(reply)
-        return self
+        request = {
+            "op": "execute",
+            "sql": operation,
+            "params": _wire_params(parameters),
+            "page_size": connection.page_size,
+        }
+        return self._traced_exchange(connection, operation, request)
 
     def executemany(
         self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
     ) -> "RemoteCursor":
         connection = self._check_open("executemany")
         self._discard_statement()
-        reply = connection._request(
-            {
-                "op": "executemany",
-                "sql": operation,
-                "params_seq": [_wire_params(p) for p in seq_of_parameters],
-                "page_size": connection.page_size,
-            }
-        )
+        request = {
+            "op": "executemany",
+            "sql": operation,
+            "params_seq": [_wire_params(p) for p in seq_of_parameters],
+            "page_size": connection.page_size,
+        }
+        return self._traced_exchange(connection, operation, request)
+
+    def _traced_exchange(self, connection: "RemoteConnection", operation: str,
+                         request: dict) -> "RemoteCursor":
+        """One instrumented round trip: start the client span (injecting
+        the trace context into the frame so the server continues it), send
+        the request, and fold the reply's timing envelope back into
+        metrics + the trace."""
+        self.trace = None
+        self.cache_event = None
+        self.statement_kind = None
+        builder = connection._begin_client_trace(operation, request)
+        started = time.perf_counter()
+        try:
+            reply = connection._request(request)
+        except BaseException:
+            connection._finish_client_trace(self, operation, started, builder,
+                                            None, error=True)
+            raise
         self._install_reply(reply)
+        connection._finish_client_trace(self, operation, started, builder,
+                                        reply.get("timing"))
         return self
 
     def _install_reply(self, reply: dict) -> None:
@@ -162,8 +180,14 @@ class RemoteConnection(BaseConnection):
         autocommit: bool = False,
         backend: str | None = None,
         page_size: int = protocol.DEFAULT_PAGE_SIZE,
+        trace: bool = False,
+        slow_ms: float | None = None,
     ):
         super().__init__(autocommit=autocommit)
+        #: Client-side tracer: spans cover the full round trip, with the
+        #: network/engine split computed from the server's timing
+        #: envelope.  Also owns this driver's slow-query ring buffer.
+        self.tracer = Tracer(enabled=trace, slow_ms=slow_ms)
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._wfile = sock.makefile("wb")
@@ -210,19 +234,84 @@ class RemoteConnection(BaseConnection):
         return {k: v for k, v in reply.items() if k not in ("id", "ok")}
 
     def stats(self) -> dict:
-        """Observability snapshot, mirroring the in-process
-        ``Connection.stats()``: the server's shared plan-cache counters
-        plus (on the live backend) its session pool occupancy."""
+        """Unified observability snapshot (``repro.obs/1``), mirroring the
+        in-process ``Connection.stats()``: the server's plan-cache
+        counters, catalog facts, workload/tracing/metrics snapshots, and
+        (on the live backend) its session pool occupancy — plus this
+        driver's own client-side tracer under ``client``."""
         status = self.server_status()
         payload = {
-            "backend": self._backend_name,
-            "plan_cache": status.get("plan_cache"),
+            key: status[key]
+            for key in ("schema", "plan_cache", "catalog", "workload",
+                        "tracing", "metrics", "pool")
+            if key in status
         }
-        if "pool" in status:
-            payload["pool"] = status["pool"]
-        if "catalog" in status:
-            payload["catalog"] = status["catalog"]
+        payload["backend"] = self._backend_name
+        payload["client"] = {"tracing": self.tracer.stats()}
         return payload
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text format (the ``metrics``
+        op — same payload the ``--metrics-port`` HTTP endpoint serves)."""
+        self._check_open("metrics_text")
+        return str(self._request({"op": "metrics"}).get("text", ""))
+
+    # -- statement tracing -------------------------------------------------
+
+    def _begin_client_trace(self, operation: str, request: dict):
+        """Start the client span and inject its ids into the request frame
+        so the server-side spans join this trace; ``None`` when untraced."""
+        if not self.tracer.enabled:
+            return None
+        builder = self.tracer.begin("client.statement")
+        builder.root.attributes["sql"] = operation
+        request["trace"] = {
+            "trace_id": builder.trace_id,
+            "span_id": builder.root.span_id,
+        }
+        return builder
+
+    def _finish_client_trace(self, cursor: RemoteCursor, operation: str,
+                             started: float, builder, timing: dict | None, *,
+                             error: bool = False) -> None:
+        total = time.perf_counter() - started
+        timing = timing or {}
+        cursor.cache_event = timing.get("cache")
+        cursor.statement_kind = timing.get("kind")
+        self.tracer.note_statement(
+            operation, self._version_name, total,
+            trace_id=builder.trace_id if builder is not None else None,
+        )
+        if builder is None:
+            return
+        engine_ms = timing.get("engine_ms")
+        if engine_ms is not None:
+            network = max(total - engine_ms / 1000.0, 0.0)
+            builder.add_span("network", network,
+                             round_trip_ms=total * 1000.0,
+                             engine_ms=engine_ms)
+        for wire_span in timing.get("spans") or []:
+            # The server continued our trace; its spans come back in the
+            # reply envelope and rejoin the client-side trace verbatim
+            # (parent ids line up because the server's root span was
+            # parented on our root span id).
+            builder.spans.append(
+                Span(
+                    name=str(wire_span.get("name", "span")),
+                    trace_id=str(wire_span.get("trace_id", builder.trace_id)),
+                    span_id=str(wire_span.get("span_id", "")),
+                    parent_id=wire_span.get("parent_id"),
+                    start=builder.root.start,
+                    duration=float(wire_span.get("duration_ms") or 0.0) / 1000.0,
+                    attributes=dict(wire_span.get("attributes") or {}),
+                )
+            )
+        cursor.trace = builder.finish(
+            kind=timing.get("kind"),
+            cache=timing.get("cache"),
+            version=self._version_name,
+            error=error,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
@@ -398,6 +487,8 @@ def connect_remote(
     backend: str | None = None,
     page_size: int = protocol.DEFAULT_PAGE_SIZE,
     timeout: float | None = None,
+    trace: bool = False,
+    slow_ms: float | None = None,
 ) -> RemoteConnection:
     """Open a DB-API connection to ``version`` on a remote repro server.
 
@@ -408,6 +499,13 @@ def connect_remote(
     default execution backend for this connection; ``timeout`` bounds the
     TCP connect *and* every later request round trip (``None`` = wait
     forever).
+
+    ``trace=True`` records a client-side span trace for every statement
+    (readable from ``cursor.trace``): the trace context rides along in
+    each request frame, the server continues it engine-side, and the
+    reply's timing envelope splits the round trip into client, network,
+    and engine spans.  ``slow_ms`` sets the client driver's slow-query
+    threshold (round-trip wall time).
     """
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
@@ -421,4 +519,6 @@ def connect_remote(
         autocommit=autocommit,
         backend=backend,
         page_size=page_size,
+        trace=trace,
+        slow_ms=slow_ms,
     )

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import InterfaceError, OperationalError
+from repro.obs import engine_snapshot
+from repro.obs.http import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
 from repro.sql.connection import connect as sql_connect
@@ -147,6 +150,9 @@ class _ClientHandler:
             handler = _OPS.get(op)
             if handler is None:
                 raise ProtocolError(f"unknown op {op!r}")
+            # Count only known ops: a hostile peer must not mint unbounded
+            # label values.
+            self.server._m_requests.inc(op=op)
             response = handler(self, request)
         except _Disconnect:
             return False
@@ -259,14 +265,42 @@ class _ClientHandler:
             payload["done"] = True
         return payload
 
+    def _apply_trace_context(self, connection, request: dict) -> None:
+        """Continue a client-side trace: the next statement's engine spans
+        join the trace/span ids that rode along in the request frame."""
+        trace = request.get("trace")
+        if isinstance(trace, dict) and trace.get("trace_id"):
+            connection._trace_context = (
+                str(trace["trace_id"]),
+                str(trace["span_id"]) if trace.get("span_id") else None,
+            )
+
+    def _timing_envelope(self, cursor, started: float) -> dict:
+        """Server-side timing breakdown attached to every execute reply,
+        so the client can separate engine time from network time."""
+        envelope = {
+            "engine_ms": (time.perf_counter() - started) * 1000.0,
+            "kind": cursor.statement_kind,
+            "cache": cursor.cache_event,
+        }
+        if cursor.trace is not None:
+            envelope["trace_id"] = cursor.trace.trace_id
+            envelope["span_id"] = cursor.trace.root.span_id
+            envelope["spans"] = [span.to_dict() for span in cursor.trace.spans]
+        return envelope
+
     def _op_execute(self, request: dict) -> dict:
         connection = self._require_connection("execute")
         params = request.get("params") or []
         if not isinstance(params, list):
             raise ProtocolError("params must be a JSON array")
         cursor = connection.cursor()
+        self._apply_trace_context(connection, request)
+        started = time.perf_counter()
         cursor.execute(str(request.get("sql", "")), tuple(params))
-        return self._result_payload(cursor, request)
+        payload = self._result_payload(cursor, request)
+        payload["timing"] = self._timing_envelope(cursor, started)
+        return payload
 
     def _op_executemany(self, request: dict) -> dict:
         connection = self._require_connection("executemany")
@@ -274,8 +308,12 @@ class _ClientHandler:
         if not isinstance(seq, list) or not all(isinstance(p, list) for p in seq):
             raise ProtocolError("params_seq must be a JSON array of arrays")
         cursor = connection.cursor()
+        self._apply_trace_context(connection, request)
+        started = time.perf_counter()
         cursor.executemany(str(request.get("sql", "")), [tuple(p) for p in seq])
-        return self._result_payload(cursor, request)
+        payload = self._result_payload(cursor, request)
+        payload["timing"] = self._timing_envelope(cursor, started)
+        return payload
 
     def _op_fetch(self, request: dict) -> dict:
         self._require_connection("fetch")
@@ -323,6 +361,14 @@ class _ClientHandler:
     def _op_status(self, request: dict) -> dict:
         return self.server.status()
 
+    def _op_metrics(self, request: dict) -> dict:
+        """The engine's metrics registry in Prometheus text format — the
+        wire-protocol twin of the ``--metrics-port`` HTTP endpoint."""
+        return {
+            "content_type": METRICS_CONTENT_TYPE,
+            "text": self.server.engine.metrics.render_prometheus(),
+        }
+
     def _op_close(self, request: dict) -> None:
         try:
             self._send({"id": request.get("id"), "ok": True})
@@ -347,6 +393,7 @@ _OPS = {
     "txn": _ClientHandler._op_txn,
     "ping": _ClientHandler._op_ping,
     "status": _ClientHandler._op_status,
+    "metrics": _ClientHandler._op_metrics,
     "close": _ClientHandler._op_close,
 }
 
@@ -388,6 +435,15 @@ class ReproServer:
         self._handlers: list[_ClientHandler] = []
         self._lock = threading.Lock()
         self._closed = False
+        self._m_requests = engine.metrics.counter(
+            "repro_server_requests_total",
+            "Wire-protocol requests handled, by op.",
+            ("op",),
+        )
+        self._m_clients = engine.metrics.gauge(
+            "repro_server_clients",
+            "Currently connected wire-protocol clients.",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -429,6 +485,7 @@ class ReproServer:
                     sock.close()
                     return
                 self._handlers.append(handler)
+                self._m_clients.set(len(self._handlers))
             handler.start()
 
     def close(self) -> None:
@@ -466,6 +523,7 @@ class ReproServer:
         with self._lock:
             if handler in self._handlers:
                 self._handlers.remove(handler)
+            self._m_clients.set(len(self._handlers))
 
     # ------------------------------------------------------------------
     # Catalog transitions
@@ -488,23 +546,19 @@ class ReproServer:
     # ------------------------------------------------------------------
 
     def status(self) -> dict:
+        """The unified observability snapshot (``repro.obs/1``) plus the
+        server-specific facts (protocol, client count, served versions)."""
         with self._lock:
             clients = len(self._handlers)
-        backend = self.engine.live_backend
-        payload = {
-            "protocol": protocol.PROTOCOL_VERSION,
-            "clients": clients,
-            "versions": self.engine.version_names(),
-            "page_size": self.page_size,
-            "plan_cache": self.engine.plan_cache.stats(),
-            "catalog": {
-                "generation": self.engine.catalog_generation,
-                "fingerprint": self.engine.catalog_fingerprint(),
-            },
-        }
-        if backend is not None:
-            payload["pool"] = backend.pool.stats()
-            payload["catalog"] = backend.catalog_stats()
+        payload = engine_snapshot(self.engine, backend=self.engine.live_backend)
+        payload.update(
+            {
+                "protocol": protocol.PROTOCOL_VERSION,
+                "clients": clients,
+                "versions": self.engine.version_names(),
+                "page_size": self.page_size,
+            }
+        )
         return payload
 
 

@@ -169,3 +169,18 @@ class BidelStatement(SqlStatement):
     through verbatim to the engine."""
 
     text: str = ""
+
+
+@dataclass(frozen=True)
+class Explain(SqlStatement):
+    """``EXPLAIN <statement>`` — plan provenance introspection.
+
+    Executing it never touches data: the result set is a two-column
+    (property, value) table describing how the wrapped statement would
+    run — plan class, backend SQL, flattened view text, cache status.
+    Parameters inside the wrapped statement stay unbound (``EXPLAIN``
+    itself takes none).
+    """
+
+    statement: SqlStatement = None  # type: ignore[assignment]
+    param_count: int = 0

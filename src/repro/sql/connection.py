@@ -57,9 +57,11 @@ Common semantics on both backends:
 from __future__ import annotations
 
 import itertools
+import re
 import sqlite3
+import time
 from collections.abc import Iterator, Mapping, Sequence
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -73,7 +75,8 @@ from repro.errors import (
     ProgrammingError,
     SchemaError,
 )
-from repro.sql.ast import BidelStatement, SqlStatement
+from repro.relational.types import DataType
+from repro.sql.ast import BidelStatement, Explain, SqlStatement
 from repro.sql.parser import parse_statement
 from repro.sql.plancache import DdlPlan
 from repro.sql.planner import StatementResult, compile_statement_memory
@@ -107,6 +110,68 @@ def _normalize_params(parameters: Sequence[Any] | None, expected: int) -> tuple:
             f"statement takes {expected} parameter(s), {len(params)} given"
         )
     return params
+
+
+#: Reusable no-op context for the untraced fast path (nullcontext carries
+#: no state, so one instance serves every statement).
+_NOOP_SPAN = nullcontext()
+
+
+def _span(builder, name: str, **attributes):
+    """A tracing span when a trace is active, otherwise a shared no-op."""
+    if builder is None:
+        return _NOOP_SPAN
+    return builder.span(name, **attributes)
+
+
+_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN\s+", re.IGNORECASE)
+
+_EXPLAIN_DESCRIPTION = (
+    ("property", DataType.TEXT, None, None, None, None, None),
+    ("value", DataType.TEXT, None, None, None, None, None),
+)
+
+
+class ExplainPlan:
+    """The compiled form of ``EXPLAIN <statement>``: wraps the inner
+    statement's plan and, when run, reports its provenance — plan class,
+    rendered backend SQL, the flattened view's stored SQL, and whether
+    the inner statement currently sits in the shared plan cache —
+    without touching any data."""
+
+    kind = "explain"
+    param_count = 0
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def run_explain(self, connection: "Connection", operation: str) -> StatementResult:
+        engine = connection.engine
+        rows: list[tuple[str, str]] = [
+            ("statement_kind", self.inner.kind),
+            ("backend", connection.backend_name),
+            ("version", connection.version_name),
+            ("catalog_generation", str(engine.catalog_generation)),
+        ]
+        rows.extend((name, str(value)) for name, value in self.inner.explain_entries())
+        view_name = getattr(self.inner, "view_name", None)
+        if view_name and connection._session is not None:
+            stored = connection._session.execute(
+                "SELECT sql FROM sqlite_master WHERE type = 'view' AND name = ?",
+                (view_name,),
+            ).fetchone()
+            if stored and stored[0]:
+                rows.append(("view_sql", stored[0]))
+        if connection._use_plan_cache:
+            inner_text = _EXPLAIN_PREFIX.sub("", operation)
+            key = (inner_text, connection.version_name, connection.backend_name)
+            cached = engine.plan_cache.peek(key, engine.catalog_generation)
+            rows.append(("plan_cached", str(cached is not None).lower()))
+        else:
+            rows.append(("plan_cached", "off"))
+        return StatementResult(
+            description=_EXPLAIN_DESCRIPTION, rows=rows, rowcount=len(rows)
+        )
 
 
 @contextmanager
@@ -146,6 +211,13 @@ class BaseCursor:
         self._buffer: list[tuple] = []  # fetched rows
         self._pos = 0  # next unconsumed row in the buffer (O(1) fetchone)
         self._exhausted = True  # no further rows beyond the buffer
+        #: The finished trace of the last executed statement (a
+        #: :class:`repro.obs.Trace`), or ``None`` when untraced.
+        self.trace = None
+        #: Plan-cache outcome of the last statement: hit | miss | off.
+        self.cache_event: str | None = None
+        #: Statement kind of the last execute (select | insert | ...).
+        self.statement_kind: str | None = None
 
     # -- metadata ----------------------------------------------------------
 
@@ -377,34 +449,71 @@ class Cursor(BaseCursor):
         :class:`~repro.sql.plancache.PlanCache`: a repeated statement text
         on the same version and backend skips parsing and planner lowering
         entirely (plans are tagged with the catalog generation, so DDL on
-        any connection invalidates them)."""
+        any connection invalidates them).
+
+        Every statement lands in the engine's metrics registry (latency,
+        workload, error counters); spans are recorded only when tracing is
+        on for this connection/engine or the statement arrived with a
+        remote trace context."""
         connection = self._check_open("execute")
         self._install_result(StatementResult())
+        self.trace = None
+        self.cache_event = None
         engine = connection.engine
+        builder = connection._begin_statement_trace(operation)
+        started = time.perf_counter()
+        kind = "unknown"
+        try:
+            kind = self._execute_inner(connection, engine, builder, operation,
+                                       parameters)
+        except BaseException:
+            connection._finish_statement(self, operation, kind, started, builder,
+                                         error=True)
+            raise
+        connection._finish_statement(self, operation, kind, started, builder)
+        return self
+
+    def _execute_inner(self, connection, engine, builder, operation,
+                       parameters) -> str:
         with engine.catalog_lock.read_locked():
-            plan = connection._plan_for(operation)
+            with _span(builder, "plan"):
+                plan, cached = connection._plan_for(operation)
+            self.cache_event = (
+                "hit" if cached else ("miss" if connection._use_plan_cache else "off")
+            )
+            if plan.kind == "explain":
+                with _translated_errors():
+                    self._install_result(plan.run_explain(connection, operation))
+                engine.workload.record(connection.version_name, "explain")
+                return "explain"
             if plan.kind != "ddl":
                 params = _normalize_params(parameters, plan.param_count)
                 if plan.kind == "select":
-                    with _translated_errors():
+                    with _span(
+                        builder, "execute", backend=connection.backend_name
+                    ), _translated_errors():
                         self._install_result(connection._run_plan(plan, params))
-                    engine.workload.record_read(connection.version_name)
-                    return self
-                with connection._write_scope(), _translated_errors():
+                    engine.workload.record(connection.version_name, "select")
+                    return "select"
+                with _span(
+                    builder, "execute", backend=connection.backend_name
+                ), connection._write_scope(), _translated_errors():
                     self._install_result(connection._run_plan(plan, params))
-                engine.workload.record_write(connection.version_name)
-                return self
+                engine.workload.record(connection.version_name, plan.kind)
+                return plan.kind
         # BiDEL DDL runs outside the read scope: the engine takes the
         # catalog write lock itself.  DDL is not transactional: it
         # implicitly commits EVERY open transaction. A journal kept across
         # a migration would name physical tables the swap may drop, making
         # rollback a lie.
         _normalize_params(parameters, plan.param_count)
-        connection.commit()
-        connection._force_end_transactions()
-        with _translated_errors():
+        with _span(builder, "commit"):
+            connection.commit()
+            connection._force_end_transactions()
+        with _span(builder, "execute", backend="engine"), _translated_errors():
             engine.execute(plan.statement.text)
-        return self
+        engine.workload.record(connection.version_name, "ddl")
+        return "ddl"
 
     def executemany(
         self, operation: str, seq_of_parameters: Sequence[Sequence[Any]]
@@ -422,25 +531,53 @@ class Cursor(BaseCursor):
         """
         connection = self._check_open("executemany")
         self._install_result(StatementResult())
+        self.trace = None
+        self.cache_event = None
         engine = connection.engine
         seq_of_parameters = list(seq_of_parameters)
+        builder = connection._begin_statement_trace(operation)
+        started = time.perf_counter()
+        kind = "unknown"
+        try:
+            kind = self._executemany_inner(
+                connection, engine, builder, operation, seq_of_parameters
+            )
+        except BaseException:
+            connection._finish_statement(self, operation, kind, started, builder,
+                                         error=True)
+            raise
+        connection._finish_statement(self, operation, kind, started, builder)
+        return self
+
+    def _executemany_inner(self, connection, engine, builder, operation,
+                           seq_of_parameters) -> str:
         with engine.catalog_lock.read_locked():
-            plan = connection._plan_for(operation)
-            if plan.kind in ("select", "ddl"):
+            with _span(builder, "plan"):
+                plan, cached = connection._plan_for(operation)
+            self.cache_event = (
+                "hit" if cached else ("miss" if connection._use_plan_cache else "off")
+            )
+            if plan.kind in ("select", "ddl", "explain"):
                 raise ProgrammingError("executemany() only accepts DML statements")
             if plan.kind == "insert":
                 normalized = [
                     _normalize_params(parameters, plan.param_count)
                     for parameters in seq_of_parameters
                 ]
-                with connection._write_scope(), _translated_errors():
+                with _span(
+                    builder, "execute", backend=connection.backend_name,
+                    batch=len(normalized),
+                ), connection._write_scope(), _translated_errors():
                     self._install_result(
                         connection._run_plan_many(plan, normalized)
                     )
             else:
                 total = 0
                 lastrowid: int | None = None
-                with connection._write_scope(), _translated_errors():
+                with _span(
+                    builder, "execute", backend=connection.backend_name,
+                    batch=len(seq_of_parameters),
+                ), connection._write_scope(), _translated_errors():
                     for parameters in seq_of_parameters:
                         params = _normalize_params(parameters, plan.param_count)
                         result = connection._run_plan(plan, params)
@@ -450,10 +587,10 @@ class Cursor(BaseCursor):
                 self._install_result(
                     StatementResult(rowcount=total, lastrowid=lastrowid)
                 )
-        engine.workload.record_write(
-            connection.version_name, len(seq_of_parameters)
-        )
-        return self
+            engine.workload.record(
+                connection.version_name, plan.kind, len(seq_of_parameters)
+            )
+            return plan.kind
 
 
 class Connection(BaseConnection):
@@ -467,12 +604,40 @@ class Connection(BaseConnection):
         autocommit: bool = False,
         backend: "LiveSqliteBackend | None" = None,
         plan_cache: bool = True,
+        trace: bool = False,
+        slow_ms: float | None = None,
     ):
         super().__init__(autocommit=autocommit)
         self.engine = engine
         self._version = version
         self._backend = backend
         self._use_plan_cache = plan_cache
+        self._trace = trace
+        self._slow_ms = slow_ms
+        #: One-shot remote trace context ``(trace_id, parent_span_id)``;
+        #: the network server sets it right before executing a statement
+        #: that arrived with a client-side trace, so the engine-side spans
+        #: join the client's trace instead of starting their own.
+        self._trace_context: tuple[str, str] | None = None
+        # Metric families are resolved once per connection, not per
+        # statement — the hot path only pays dict-free method calls.
+        metrics = engine.metrics
+        self._m_latency = metrics.histogram(
+            "repro_statement_latency_seconds",
+            "Statement wall time by schema version, statement kind, and "
+            "plan-cache outcome.",
+            ("version", "kind", "cache"),
+        )
+        self._m_errors = metrics.counter(
+            "repro_statement_errors_total",
+            "Statements that raised, by schema version.",
+            ("version",),
+        )
+        self._m_slow = metrics.counter(
+            "repro_slow_statements_total",
+            "Statements exceeding the slow-query threshold, by version.",
+            ("version",),
+        )
         # On the live backend every connection leases its own session — a
         # pooled sqlite3 handle with real per-session transactions.
         self._session: "SqliteSession | None" = (
@@ -509,7 +674,8 @@ class Connection(BaseConnection):
         """The compiled plan for ``operation`` — from the engine's shared
         plan cache when possible, else parsed and lowered now (and cached
         for the next statement).  Must run under the catalog read lock so
-        the generation tag is stable while the plan is compiled and used."""
+        the generation tag is stable while the plan is compiled and used.
+        Returns ``(plan, cached)`` where ``cached`` reports a cache hit."""
         engine = self.engine
         cache = engine.plan_cache if self._use_plan_cache else None
         generation = engine.catalog_generation
@@ -518,17 +684,19 @@ class Connection(BaseConnection):
             plan = cache.get(key, generation)
             if plan is not None:
                 self._check_data_plane(plan)
-                return plan
+                return plan, True
         statement = parse_statement(operation)
         with _translated_errors():
             plan = self._compile(statement)
-        if cache is not None and plan.kind != "ddl":
+        if cache is not None and plan.kind not in ("ddl", "explain"):
             # DDL executions bump the generation and clear the cache, so a
             # DDL entry could never be hit again — don't churn LRU slots
             # that could hold hot DML plans (re-parse is already cheap via
-            # the parser's own text cache).
+            # the parser's own text cache).  EXPLAIN is an introspection
+            # one-off: caching it would shadow the inner statement's own
+            # cache status, which is exactly what it reports.
             cache.put(key, generation, plan)
-        return plan
+        return plan, False
 
     def _check_data_plane(self, plan) -> None:
         """A cached plan must honour the same guard a fresh compile does:
@@ -548,6 +716,8 @@ class Connection(BaseConnection):
     def _compile(self, statement: SqlStatement):
         if isinstance(statement, BidelStatement):
             return DdlPlan(statement)
+        if isinstance(statement, Explain):
+            return ExplainPlan(self._compile(statement.statement))
         if self._session is None:
             if self.engine.live_backend is not None:
                 # This connection predates the backend attach; its data
@@ -572,22 +742,62 @@ class Connection(BaseConnection):
             return plan.run_many(self.engine, seq_of_parameters)
         return plan.run_many(self._session, seq_of_parameters)
 
+    # -- statement instrumentation -----------------------------------------
+
+    def _begin_statement_trace(self, operation: str):
+        """A :class:`~repro.obs.TraceBuilder` for this statement, or
+        ``None`` on the untraced fast path.  A pending remote trace
+        context (set by the network server) always wins: the engine-side
+        spans join the client's trace."""
+        context, self._trace_context = self._trace_context, None
+        tracer = self.engine.tracer
+        if context is not None:
+            builder = tracer.begin(
+                "engine.statement", trace_id=context[0], parent_id=context[1]
+            )
+        elif self._trace or tracer.enabled:
+            builder = tracer.begin("statement")
+        else:
+            return None
+        builder.root.attributes["sql"] = operation
+        return builder
+
+    def _finish_statement(self, cursor: BaseCursor, operation: str, kind: str,
+                          started: float, builder, *, error: bool = False) -> None:
+        """Record the statement's metrics (latency or error counter, slow
+        log) and, when traced, close the trace onto the cursor."""
+        duration = time.perf_counter() - started
+        version = self.version_name
+        cursor.statement_kind = kind
+        cache = cursor.cache_event or "off"
+        if error:
+            self._m_errors.inc(version=version)
+        else:
+            self._m_latency.observe(duration, version=version, kind=kind,
+                                    cache=cache)
+        slow = self.engine.tracer.note_statement(
+            operation, version, duration,
+            threshold_ms=self._slow_ms,
+            trace_id=builder.trace_id if builder is not None else None,
+        )
+        if slow is not None:
+            self._m_slow.inc(version=version)
+        if builder is not None:
+            cursor.trace = builder.finish(
+                kind=kind, cache=cache, version=version, error=error
+            )
+
     def stats(self) -> dict:
-        """Observability snapshot: shared plan-cache counters, catalog
-        durability facts (generation, fingerprint, on-disk staleness)
-        plus, on the live backend, the session pool's occupancy."""
-        payload = {
-            "backend": self.backend_name,
-            "plan_cache": self.engine.plan_cache.stats(),
-            "catalog": {
-                "generation": self.engine.catalog_generation,
-                "fingerprint": self.engine.catalog_fingerprint(),
-            },
-        }
-        if self._backend is not None:
-            payload["pool"] = self._backend.pool.stats()
-            payload["catalog"] = self._backend.catalog_stats()
-        return payload
+        """Unified observability snapshot (``repro.obs/1``): plan-cache
+        counters, catalog durability facts (generation, fingerprint,
+        on-disk staleness), workload and tracing summaries, the full
+        metrics snapshot, and — on the live backend — the session pool's
+        occupancy.  The top-level ``backend`` / ``plan_cache`` /
+        ``catalog`` / ``pool`` keys predate the unified schema and are
+        kept as stable aliases."""
+        from repro.obs import engine_snapshot
+
+        return engine_snapshot(self.engine, backend=self._backend)
 
     def _force_end_transactions(self) -> None:
         """DDL implicitly commits every open transaction, including other
@@ -784,6 +994,8 @@ def connect(
     autocommit: bool = False,
     backend: str | None = None,
     plan_cache: bool = True,
+    trace: bool = False,
+    slow_ms: float | None = None,
 ) -> Connection:
     """Open a DB-API connection to ``version`` of ``engine``.
 
@@ -800,6 +1012,12 @@ def connect(
     ``plan_cache=False`` opts this connection out of the engine's shared
     statement-plan cache (every execute re-parses and re-plans; used by
     the fig16 benchmark to measure the cold path).
+
+    ``trace=True`` records a span trace for every statement on this
+    connection (readable from ``cursor.trace``) even when the engine's
+    tracer is otherwise disabled.  ``slow_ms`` sets a per-connection
+    slow-query threshold: statements slower than this land in the
+    engine tracer's slow-query ring buffer.
     """
     schema_version = resolve_schema_version(engine, version)
     resolved = _resolve_backend(engine, backend)
@@ -809,6 +1027,8 @@ def connect(
         autocommit=autocommit,
         backend=resolved,
         plan_cache=plan_cache,
+        trace=trace,
+        slow_ms=slow_ms,
     )
 
 

@@ -35,6 +35,7 @@ from repro.expr.parser import ExpressionParser
 from repro.sql.ast import (
     BidelStatement,
     Delete,
+    Explain,
     Insert,
     OrderItem,
     Parameter,
@@ -146,9 +147,21 @@ class SqlParser:
         token = self._peek()
         if token.kind != lexer.IDENT:
             raise self._error("empty or malformed statement")
-        head = token.value.upper()
         if self._is_bidel_script():
             return BidelStatement(self._text)
+        if token.value.upper() == "EXPLAIN":
+            self._next()
+            if self._is_bidel_script():
+                raise self._error(
+                    "EXPLAIN applies to SELECT, INSERT, UPDATE, or DELETE, "
+                    "not to BiDEL DDL"
+                )
+            return Explain(statement=self._dml_statement())
+        return self._dml_statement()
+
+    def _dml_statement(self) -> SqlStatement:
+        token = self._peek()
+        head = token.value.upper() if token.kind == lexer.IDENT else ""
         if head == "SELECT":
             return self._select()
         if head == "INSERT":
@@ -159,7 +172,7 @@ class SqlParser:
             return self._delete()
         raise self._error(
             f"unsupported statement {token.value!r}; expected SELECT, INSERT, "
-            "UPDATE, DELETE, or BiDEL DDL"
+            "UPDATE, DELETE, EXPLAIN, or BiDEL DDL"
         )
 
     def _is_bidel_script(self) -> bool:

@@ -58,6 +58,16 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._events = None  # repro_plan_cache_events_total, once bound
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror hit/miss/invalidation counts into the metrics registry
+        (labeled series ``repro_plan_cache_events_total{event}``)."""
+        self._events = registry.counter(
+            "repro_plan_cache_events_total",
+            "Plan cache events by outcome.",
+            ("event",),
+        )
 
     def get(self, key: PlanKey, generation: int):
         """The cached plan for ``key`` compiled under ``generation``, or
@@ -67,10 +77,25 @@ class PlanCache:
             if entry is not None and entry[0] == generation:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                hit = True
+                plan = entry[1]
+            else:
+                if entry is not None:
+                    del self._entries[key]
+                self._misses += 1
+                hit = False
+                plan = None
+        if self._events is not None:
+            self._events.inc(event="hit" if hit else "miss")
+        return plan
+
+    def peek(self, key: PlanKey, generation: int):
+        """Like :meth:`get` but with no counter or LRU side effects —
+        used by ``EXPLAIN`` to report whether a plan is cached."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == generation:
                 return entry[1]
-            if entry is not None:
-                del self._entries[key]
-            self._misses += 1
             return None
 
     def put(self, key: PlanKey, generation: int, plan: Any) -> None:
@@ -91,6 +116,8 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
             self._invalidations += 1
+        if self._events is not None:
+            self._events.inc(event="invalidation")
 
     def stats(self) -> dict:
         """Hit/miss/size counters (surfaced through ``Connection.stats()``

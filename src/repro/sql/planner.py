@@ -383,6 +383,14 @@ class MemoryPlan:
     def run(self, engine: "InVerDa", params: tuple) -> StatementResult:
         return execute_statement(engine, self.version, self.stmt, params)
 
+    def explain_entries(self) -> list[tuple[str, str]]:
+        tv = resolve_table(self.version, self.stmt.table)
+        return [
+            ("plan", type(self).__name__),
+            ("table_version", tv.name),
+            ("routing", "engine row-level routing (memory backend)"),
+        ]
+
     def run_many(self, engine: "InVerDa", seq_of_params) -> StatementResult:
         """Bulk-load fast path (``seq_of_params`` rows are already-
         normalized tuples): evaluate every parameter row's VALUES, then

@@ -1,42 +1,10 @@
-"""Minimal timing helper used by the benchmark harness."""
+"""Compatibility shim: the timing primitive moved to ``repro.obs.timing``.
+
+Import :class:`repro.obs.Stopwatch` in new code.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.obs.timing import Stopwatch
 
-
-@dataclass
-class Stopwatch:
-    """Accumulates wall-clock time across several timed sections.
-
-    >>> watch = Stopwatch()
-    >>> with watch:
-    ...     pass
-    >>> watch.elapsed >= 0.0
-    True
-    """
-
-    elapsed: float = 0.0
-    laps: list[float] = field(default_factory=list)
-    _started_at: float | None = None
-
-    def __enter__(self) -> "Stopwatch":
-        self._started_at = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        assert self._started_at is not None
-        lap = time.perf_counter() - self._started_at
-        self._started_at = None
-        self.elapsed += lap
-        self.laps.append(lap)
-
-    @property
-    def elapsed_ms(self) -> float:
-        return self.elapsed * 1000.0
-
-    def reset(self) -> None:
-        self.elapsed = 0.0
-        self.laps.clear()
-        self._started_at = None
+__all__ = ["Stopwatch"]

@@ -1,0 +1,51 @@
+"""The HTTP scrape endpoint: ``GET /metrics`` in Prometheus text format."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.http import CONTENT_TYPE, MetricsHTTPServer
+
+
+@pytest.fixture
+def endpoint():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "Demo counter.", ("op",)).inc(op="x")
+    server = MetricsHTTPServer(registry, port=0).start()
+    yield server
+    server.close()
+
+
+def fetch(server, path):
+    host, port = server.address
+    return urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=5.0)
+
+
+class TestMetricsEndpoint:
+    def test_get_metrics_serves_prometheus_text(self, endpoint):
+        response = fetch(endpoint, "/metrics")
+        assert response.status == 200
+        assert response.headers["Content-Type"] == CONTENT_TYPE
+        body = response.read().decode("utf-8")
+        assert "# TYPE demo_total counter" in body
+        assert 'demo_total{op="x"} 1' in body
+
+    def test_index_points_at_metrics(self, endpoint):
+        response = fetch(endpoint, "/")
+        assert response.status == 200
+        assert b"/metrics" in response.read()
+
+    def test_unknown_path_is_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(endpoint, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, endpoint):
+        counter = endpoint._httpd.registry.counter("demo_total", "", ("op",))
+        counter.inc(op="x")
+        body = fetch(endpoint, "/metrics").read().decode("utf-8")
+        assert 'demo_total{op="x"} 2' in body

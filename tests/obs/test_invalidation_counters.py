@@ -1,0 +1,105 @@
+"""Plan-cache invalidation and transition metrics across all three
+catalog transitions (evolve / materialize / drop), on both transports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.engine import InVerDa
+from repro.server.client import connect_remote
+from repro.server.server import ReproServer
+
+EVOLVE = "CREATE SCHEMA VERSION v2 FROM v1 WITH RENAME COLUMN a IN R TO a2;"
+MATERIALIZE = "MATERIALIZE 'v2';"
+DROP = "DROP SCHEMA VERSION v1;"
+
+
+def build_engine() -> InVerDa:
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b TEXT);"
+    )
+    return engine
+
+
+def invalidations(engine) -> float:
+    return engine.metrics.get("repro_plan_cache_events_total").value(
+        event="invalidation"
+    )
+
+
+def transition_counts(engine) -> dict:
+    transitions = engine.metrics.get("repro_transitions_total")
+    durations = engine.metrics.get("repro_transition_duration_seconds")
+    return {
+        kind: (transitions.value(kind=kind),
+               durations.series_stats(kind=kind)["count"])
+        for kind in ("evolve", "materialize", "drop")
+    }
+
+
+def assert_transition_metrics(engine, baseline: dict,
+                              base_generation: int) -> None:
+    after = transition_counts(engine)
+    for kind in ("evolve", "materialize", "drop"):
+        assert after[kind][0] == baseline[kind][0] + 1, kind
+        assert after[kind][1] == baseline[kind][1] + 1, kind
+    generation_gauge = engine.metrics.get("repro_catalog_generation")
+    assert generation_gauge.value() == engine.catalog_generation
+    assert engine.catalog_generation == base_generation + 3
+
+
+class TestInProcess:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_each_transition_invalidates_and_is_timed(self, backend):
+        engine = build_engine()
+        base_generation = engine.catalog_generation
+        conn = repro.connect(engine, "v1", autocommit=True, backend=backend)
+        conn.execute("SELECT a FROM R")  # populate the plan cache
+        before = invalidations(engine)
+        baseline = transition_counts(engine)
+
+        conn.execute(EVOLVE)
+        assert invalidations(engine) == before + 1
+        conn.execute("SELECT a FROM R")
+        assert conn.execute("SELECT a FROM R").cache_event == "hit"
+
+        conn.execute(MATERIALIZE)
+        assert invalidations(engine) == before + 2
+
+        conn.execute(DROP)
+        assert invalidations(engine) == before + 3
+
+        assert_transition_metrics(engine, baseline, base_generation)
+
+
+class TestRemote:
+    def test_each_transition_invalidates_and_is_timed_over_tcp(self):
+        engine = build_engine()
+        base_generation = engine.catalog_generation
+        server = ReproServer(engine).start()
+        host, port = server.address
+        conn = connect_remote(host, port, "v1", autocommit=True)
+        try:
+            conn.execute("SELECT a FROM R")
+            before = invalidations(engine)
+            baseline = transition_counts(engine)
+            conn.execute(EVOLVE)
+            assert invalidations(engine) == before + 1
+            conn.execute(MATERIALIZE)
+            assert invalidations(engine) == before + 2
+            conn.execute(DROP)
+            assert invalidations(engine) == before + 3
+            assert_transition_metrics(engine, baseline, base_generation)
+            # The dropped version's counters survive in the registry; the
+            # statement latency series still names v1.
+            latency = engine.metrics.get("repro_statement_latency_seconds")
+            assert latency.series_stats(version="v1", kind="select",
+                                        cache="miss")["count"] >= 1
+        finally:
+            try:
+                conn.close()
+            except Exception:
+                pass
+            server.close()

@@ -1,0 +1,135 @@
+"""Wire-propagated spans: the trace context travels in the request frame,
+the server continues the span engine-side, and the reply's timing
+envelope splits the round trip into client/network/engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import InVerDa
+from repro.server.client import connect_remote
+from repro.server.server import ReproServer
+
+
+@pytest.fixture
+def server():
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b TEXT);"
+    )
+    server = ReproServer(engine).start()
+    yield server
+    server.close()
+
+
+def remote(server, **kwargs):
+    host, port = server.address
+    return connect_remote(host, port, "v1", autocommit=True, **kwargs)
+
+
+class TestTracePropagation:
+    def test_remote_statement_yields_one_joined_trace(self, server):
+        conn = remote(server, trace=True)
+        try:
+            cursor = conn.execute("SELECT a FROM R")
+            trace = cursor.trace
+            assert trace is not None
+            # Every span — client-side and server-side — carries the SAME
+            # trace id: the server continued the client's trace.
+            assert all(span.trace_id == trace.trace_id for span in trace.spans)
+            names = [span.name for span in trace.spans]
+            assert names[0] == "client.statement"
+            assert "network" in names
+            assert "engine.statement" in names
+            engine_root = next(
+                span for span in trace.spans if span.name == "engine.statement"
+            )
+            # The server-side root is parented on the client root span.
+            assert engine_root.parent_id == trace.root.span_id
+            # Engine-internal children hang off the engine-side root.
+            plan = next(span for span in trace.spans if span.name == "plan")
+            assert plan.parent_id == engine_root.span_id
+        finally:
+            conn.close()
+
+    def test_server_side_trace_lands_in_the_engine_tracer(self, server):
+        conn = remote(server, trace=True)
+        try:
+            conn.execute("SELECT a FROM R")
+            server_traces = server.engine.tracer.recent_traces()
+            assert len(server_traces) == 1
+            client_trace = conn.tracer.recent_traces()[0]
+            assert server_traces[0].trace_id == client_trace.trace_id
+        finally:
+            conn.close()
+
+    def test_cache_attribute_round_trips(self, server):
+        conn = remote(server, trace=True)
+        try:
+            first = conn.execute("SELECT a FROM R")
+            assert first.cache_event == "miss"
+            second = conn.execute("SELECT a FROM R")
+            assert second.cache_event == "hit"
+            assert second.statement_kind == "select"
+            assert second.trace.root.attributes["cache"] == "hit"
+        finally:
+            conn.close()
+
+    def test_untraced_remote_statement_starts_no_server_trace(self, server):
+        conn = remote(server)
+        try:
+            cursor = conn.execute("SELECT a FROM R")
+            assert cursor.trace is None
+            # The timing envelope still reports cache/kind facts.
+            assert cursor.cache_event == "miss"
+            assert cursor.statement_kind == "select"
+            assert server.engine.tracer.recent_traces() == []
+        finally:
+            conn.close()
+
+    def test_executemany_is_traced_too(self, server):
+        conn = remote(server, trace=True)
+        try:
+            cursor = conn.cursor()
+            cursor.executemany(
+                "INSERT INTO R (a, b) VALUES (?, ?)", [(1, "x"), (2, "y")]
+            )
+            assert cursor.statement_kind == "insert"
+            names = [span.name for span in cursor.trace.spans]
+            assert "engine.statement" in names and "network" in names
+        finally:
+            conn.close()
+
+
+class TestClientSlowLog:
+    def test_client_slow_threshold_logs_round_trips(self, server):
+        conn = remote(server, slow_ms=0.0)
+        try:
+            conn.execute("SELECT a FROM R")
+            entries = conn.tracer.slow_queries()
+            assert len(entries) == 1
+            assert entries[0].sql == "SELECT a FROM R"
+        finally:
+            conn.close()
+
+    def test_without_threshold_nothing_is_logged(self, server):
+        conn = remote(server)
+        try:
+            conn.execute("SELECT a FROM R")
+            assert conn.tracer.slow_queries() == []
+        finally:
+            conn.close()
+
+
+class TestMetricsOp:
+    def test_metrics_op_serves_prometheus_text(self, server):
+        conn = remote(server)
+        try:
+            conn.execute("SELECT a FROM R")
+            text = conn.metrics_text()
+            assert "# TYPE repro_statement_latency_seconds histogram" in text
+            assert 'repro_server_requests_total{op="execute"}' in text
+            assert "repro_server_clients 1" in text
+            assert "repro_catalog_generation 1" in text
+        finally:
+            conn.close()

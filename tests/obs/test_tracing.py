@@ -1,0 +1,146 @@
+"""Tracer semantics and in-process statement tracing: span nesting,
+slow-query thresholding, ring-buffer bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.engine import InVerDa
+from repro.obs import Tracer
+
+
+def build_engine() -> InVerDa:
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b TEXT);"
+    )
+    return engine
+
+
+class TestTracerCore:
+    def test_child_spans_nest_under_the_root(self):
+        tracer = Tracer()
+        builder = tracer.begin("statement")
+        with builder.span("plan"):
+            pass
+        with builder.span("execute", backend="memory"):
+            pass
+        trace = builder.finish(kind="select")
+        assert trace.root.name == "statement"
+        assert trace.root.attributes["kind"] == "select"
+        children = trace.spans[1:]
+        assert [span.name for span in children] == ["plan", "execute"]
+        for span in children:
+            assert span.parent_id == trace.root.span_id
+            assert span.trace_id == trace.trace_id
+
+    def test_begin_continues_a_foreign_trace(self):
+        tracer = Tracer()
+        builder = tracer.begin("engine.statement",
+                               trace_id="aaaabbbbccccdddd",
+                               parent_id="1111222233334444")
+        trace = builder.finish()
+        assert trace.trace_id == "aaaabbbbccccdddd"
+        assert trace.root.parent_id == "1111222233334444"
+
+    def test_trace_ring_buffer_is_bounded(self):
+        tracer = Tracer(max_traces=4)
+        for index in range(10):
+            tracer.begin(f"s{index}").finish()
+        traces = tracer.recent_traces()
+        assert len(traces) == 4
+        assert traces[-1].root.name == "s9"
+        assert tracer.stats()["traces_recorded"] == 10
+
+    def test_slow_query_thresholding(self):
+        tracer = Tracer(slow_ms=100.0)
+        assert tracer.note_statement("SELECT 1", "v1", 0.05) is None
+        entry = tracer.note_statement("SELECT 2", "v1", 0.25)
+        assert entry is not None
+        assert entry.duration_ms == pytest.approx(250.0)
+        # The per-statement override beats the tracer default.
+        assert tracer.note_statement("SELECT 3", "v1", 0.05,
+                                     threshold_ms=10.0) is not None
+        assert [e.sql for e in tracer.slow_queries()] == ["SELECT 2", "SELECT 3"]
+
+    def test_no_threshold_never_logs(self):
+        tracer = Tracer()
+        assert tracer.note_statement("SELECT 1", "v1", 9999.0) is None
+        assert tracer.slow_queries() == []
+
+
+class TestStatementTracing:
+    def test_traced_connection_records_plan_and_execute_spans(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True, trace=True)
+        cursor = conn.execute("INSERT INTO R (a, b) VALUES (1, 'x')")
+        trace = cursor.trace
+        assert trace is not None
+        names = [span.name for span in trace.spans]
+        assert names[0] == "statement"
+        assert "plan" in names and "execute" in names
+        assert trace.root.attributes["sql"].startswith("INSERT")
+        assert trace.root.attributes["kind"] == "insert"
+        assert all(span.trace_id == trace.trace_id for span in trace.spans)
+        assert trace in engine.tracer.recent_traces()
+
+    def test_untraced_connection_records_nothing(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True)
+        cursor = conn.execute("SELECT a FROM R")
+        assert cursor.trace is None
+        assert engine.tracer.recent_traces() == []
+
+    def test_cache_attribute_flips_to_hit_on_repeat(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True, trace=True)
+        first = conn.execute("SELECT a FROM R")
+        assert first.cache_event == "miss"
+        assert first.trace.root.attributes["cache"] == "miss"
+        second = conn.execute("SELECT a FROM R")
+        assert second.cache_event == "hit"
+        assert second.trace.root.attributes["cache"] == "hit"
+
+    def test_slow_ms_knob_fills_the_slow_query_log(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True, slow_ms=0.0)
+        conn.execute("SELECT a FROM R")
+        entries = engine.tracer.slow_queries()
+        assert len(entries) == 1
+        assert entries[0].sql == "SELECT a FROM R"
+        assert entries[0].version == "v1"
+        # A second connection without the knob logs nothing.
+        other = repro.connect(engine, "v1", autocommit=True)
+        other.execute("SELECT b FROM R")
+        assert len(engine.tracer.slow_queries()) == 1
+
+    def test_slow_statements_counter_tracks_the_log(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True, slow_ms=0.0)
+        conn.execute("SELECT a FROM R")
+        conn.execute("SELECT b FROM R")
+        counter = engine.metrics.get("repro_slow_statements_total")
+        assert counter.value(version="v1") == 2
+
+    def test_failed_statement_counts_as_error_and_closes_the_trace(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True, trace=True)
+        cursor = conn.cursor()
+        with pytest.raises(repro.errors.ProgrammingError):
+            cursor.execute("SELECT nope FROM R")
+        assert cursor.trace is not None
+        assert cursor.trace.root.attributes["error"] is True
+        errors = engine.metrics.get("repro_statement_errors_total")
+        assert errors.value(version="v1") == 1
+
+    def test_statement_latency_lands_in_the_labeled_histogram(self):
+        engine = build_engine()
+        conn = repro.connect(engine, "v1", autocommit=True)
+        conn.execute("SELECT a FROM R")
+        conn.execute("SELECT a FROM R")
+        latency = engine.metrics.get("repro_statement_latency_seconds")
+        assert latency.series_stats(version="v1", kind="select",
+                                    cache="miss")["count"] == 1
+        assert latency.series_stats(version="v1", kind="select",
+                                    cache="hit")["count"] == 1
