@@ -178,6 +178,12 @@ class LiveSqliteBackend:
         # catalog transitions, so the crash-safety suite can simulate a
         # process dying between the catalog write and the commit.
         self.fault_injector = None
+        #: When True, the static delta-code verifier runs after every
+        #: committed catalog transition (off the statement hot path, but
+        #: on the transition path — opt-in via attach()).  Findings land
+        #: in the metrics and ``engine.last_check``; error-severity ones
+        #: raise CatalogError.
+        self.verify_transitions = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -197,6 +203,7 @@ class LiveSqliteBackend:
         persist: bool = True,
         repair: bool = False,
         force: bool = False,
+        verify_transitions: bool = False,
     ) -> "LiveSqliteBackend":
         """Snapshot ``engine`` into SQLite, install the generated delta
         code, and register with the engine.
@@ -223,6 +230,11 @@ class LiveSqliteBackend:
         against the physical tables, and the installed views/triggers are
         reused when still current.  ``repair``/``force`` are the
         recovery escape hatches (see :func:`repro.persist.recover`).
+
+        ``verify_transitions`` (default ``False``) runs the static
+        delta-code verifier (:mod:`repro.check`) after every committed
+        catalog transition.  The check never touches the statement hot
+        path — it costs only on DDL, and nothing at all when left off.
         """
         if database == ":memory:":
             database, uri, wal = shared_memory_uri(), True, False
@@ -248,6 +260,7 @@ class LiveSqliteBackend:
         from repro.persist.store import CatalogStore
 
         backend = cls(engine, pool, flatten=flatten)
+        backend.verify_transitions = verify_transitions
         try:
             if persist and CatalogStore.has_catalog(backend.connection):
                 backend._recover(repair=repair, force=force)
@@ -303,7 +316,9 @@ class LiveSqliteBackend:
                     "this database already carries a different catalog; "
                     "attach a fresh engine (repro.open) or use another file"
                 )
-            self.engine.catalog_generation = state.generation
+            # Attach happens before any session can run, so the write
+            # lock is not needed (or held) here.
+            self.engine.catalog_generation = state.generation  # repro-lint: allow(RPC302)
             self.engine.metrics.gauge("repro_catalog_generation").set(
                 state.generation
             )
@@ -490,6 +505,7 @@ class LiveSqliteBackend:
         except BaseException:
             self._abort()
             raise
+        self._verify_after_transition("evolution")
 
     def on_materialize(self, schema: frozenset["SmoInstance"]) -> None:
         self._begin()
@@ -516,6 +532,7 @@ class LiveSqliteBackend:
         except BaseException:
             self._abort()
             raise
+        self._verify_after_transition("materialize")
 
     def on_drop(self, version_name: str, removed: list["SmoInstance"]) -> None:
         from repro.backend.handlers import HandlerContext, handler_for
@@ -546,6 +563,30 @@ class LiveSqliteBackend:
         except BaseException:
             self._abort()
             raise
+        self._verify_after_transition("drop")
+
+    def _verify_after_transition(self, kind: str) -> None:
+        """Opt-in post-transition gate: statically verify the delta code
+        the transition just installed.  Runs after the commit (the DDL is
+        durable either way); an error-severity finding raises so the
+        caller's transition fails loudly instead of serving a catalog
+        whose views do not resolve."""
+        if not self.verify_transitions:
+            return
+        from repro.check.delta import verify_delta_code
+        from repro.check.diagnostics import error_count, record_findings
+        from repro.errors import CatalogError
+
+        findings = verify_delta_code(self.engine, flatten=self.flatten)
+        record_findings(self.engine, findings, scope=f"transition:{kind}")
+        if error_count(findings):
+            details = "; ".join(
+                f"[{d.code}] {d.obj}: {d.message}"
+                for d in findings if d.severity == "error"
+            )
+            raise CatalogError(
+                f"delta code verification failed after {kind}: {details}"
+            )
 
     # ------------------------------------------------------------------
     # Catalog introspection

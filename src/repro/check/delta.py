@@ -1,0 +1,313 @@
+"""Static verification of the generated delta code (RPC101–RPC106).
+
+The backend compiles the catalog into ``CREATE VIEW`` and ``CREATE
+TRIGGER`` statements (:mod:`repro.backend.codegen`).  This pass checks
+the *text* of that program against the catalog — without executing any
+of it:
+
+- **RPC101** every referenced table resolves against the physical
+  layout, the scaffolding DDL, or another generated view;
+- **RPC102** every qualified column reference (``alias.col``,
+  ``NEW.col``, ``OLD.col``) resolves against some candidate relation;
+- **RPC103** the view dependency graph is acyclic;
+- **RPC104** every active table version has INSTEAD OF triggers for all
+  three DML operations;
+- **RPC105** identifiers that need quoting are never emitted bare;
+- **RPC106** the flattened and the nested emission bottom out on the
+  same physical base tables per view.
+
+``view_statements`` / ``trigger_statements`` are injectable so the
+seeded-defect suite can verify *mutated* delta code; RPC106 (which needs
+both emissions) only runs on generator output.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+
+from repro.backend.emit import SEQUENCES_TABLE
+from repro.check.diagnostics import Diagnostic, record_findings
+from repro.check.sqlscan import (
+    STRUCTURAL_KEYWORDS,
+    SUBQUERY,
+    StatementScan,
+    scan_statement,
+    unquoted_occurrence,
+)
+from repro.util.naming import quote_identifier
+
+_DML_OPS = ("INSERT", "UPDATE", "DELETE")
+
+
+def _physical_objects(engine) -> dict[str, set[str]]:
+    """Every physical relation the generated code may read or write:
+    the engine's table layout (data + aux tables), the scaffolding DDL's
+    put/staging tables and sequence table."""
+    from repro.backend import codegen
+
+    objects: dict[str, set[str]] = {}
+    for name, table in engine.database.tables.items():
+        objects[name] = {"p", *table.schema.column_names}
+    for statement in codegen.scaffold_statements(engine):
+        scan = scan_statement(statement)
+        if scan.kind == "table" and scan.name:
+            objects.setdefault(scan.name, set()).update(scan.columns_defined)
+    objects.setdefault(SEQUENCES_TABLE, {"name", "value"})
+    return objects
+
+
+def _catalog_view_columns(engine) -> dict[str, set[str]]:
+    from repro.backend import codegen
+
+    return {
+        tv.view_name: {"p", *tv.schema.column_names}
+        for tv in codegen.active_table_versions(engine)
+    }
+
+
+def _resolve_references(
+    scans: list[StatementScan],
+    objects: dict[str, set[str]],
+    view_columns: dict[str, set[str] | None],
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+
+    def columns_of(name: str) -> set[str] | None:
+        if name in objects:
+            return objects[name]
+        return view_columns.get(name)
+
+    known = set(objects) | set(view_columns)
+    for scan in scans:
+        where = scan.name or "<statement>"
+        for ref in scan.table_refs:
+            if ref not in known:
+                diagnostics.append(Diagnostic(
+                    "RPC101", "error", where,
+                    f"references {ref!r}, which is neither a physical "
+                    "table nor a generated view",
+                ))
+        for qualifier, column in scan.column_refs:
+            if qualifier.upper() in ("NEW", "OLD"):
+                row_columns = view_columns.get(scan.on_view or "")
+                if row_columns is not None and column not in row_columns:
+                    diagnostics.append(Diagnostic(
+                        "RPC102", "error", where,
+                        f"{qualifier}.{column} does not exist: view "
+                        f"{scan.on_view!r} has no column {column!r}",
+                    ))
+                continue
+            candidates = scan.aliases.get(qualifier)
+            if candidates is not None:
+                if SUBQUERY in candidates:
+                    continue  # derived table: columns are opaque
+                column_sets = [columns_of(c) for c in candidates]
+                if any(cols is None for cols in column_sets):
+                    continue  # some candidate is opaque — don't guess
+                if not any(column in cols for cols in column_sets):
+                    diagnostics.append(Diagnostic(
+                        "RPC102", "error", where,
+                        f"{qualifier}.{column} does not resolve: no table "
+                        f"bound to alias {qualifier!r} "
+                        f"({', '.join(sorted(candidates))}) has a column "
+                        f"{column!r}",
+                    ))
+            elif qualifier in known:
+                cols = columns_of(qualifier)
+                if cols is not None and column not in cols:
+                    diagnostics.append(Diagnostic(
+                        "RPC102", "error", where,
+                        f"{qualifier}.{column} does not resolve: "
+                        f"{qualifier!r} has no column {column!r}",
+                    ))
+            else:
+                diagnostics.append(Diagnostic(
+                    "RPC102", "error", where,
+                    f"{qualifier}.{column} uses unknown reference "
+                    f"qualifier {qualifier!r} (not an alias, row "
+                    "variable, or relation in scope)",
+                ))
+    return diagnostics
+
+
+def _check_cycles(view_scans: list[StatementScan]) -> list[Diagnostic]:
+    defined = {scan.name for scan in view_scans if scan.name}
+    graph = {
+        scan.name: {ref for ref in scan.table_refs if ref in defined}
+        for scan in view_scans
+        if scan.name
+    }
+    try:
+        TopologicalSorter(graph).prepare()
+    except CycleError as exc:
+        cycle = exc.args[1] if len(exc.args) > 1 else []
+        return [Diagnostic(
+            "RPC103", "error", str(cycle[0]) if cycle else "<views>",
+            "view dependency cycle: " + " -> ".join(map(str, cycle)),
+        )]
+    return []
+
+
+def _check_trigger_completeness(
+    engine, trigger_scans: list[StatementScan]
+) -> list[Diagnostic]:
+    from repro.backend import codegen
+
+    defined = {scan.name for scan in trigger_scans if scan.name}
+    diagnostics: list[Diagnostic] = []
+    for tv in codegen.active_table_versions(engine):
+        for op in _DML_OPS:
+            expected = tv.trigger_name(op)
+            if expected not in defined:
+                diagnostics.append(Diagnostic(
+                    "RPC104", "error", tv.view_name,
+                    f"missing INSTEAD OF {op} trigger "
+                    f"({expected!r}) — {op} on this version would hit "
+                    "the view directly and fail",
+                ))
+    return diagnostics
+
+
+def _quotable_catalog_names(engine) -> set[str]:
+    """Catalog identifiers the emitters must always quote: anything
+    :func:`quote_identifier` would wrap.  Names equal to a structural
+    keyword of the generated dialect are skipped — a bare occurrence is
+    indistinguishable from SQL structure."""
+    from repro.backend import codegen
+
+    names: set[str] = set()
+    for tv in codegen.active_table_versions(engine):
+        names.update(tv.schema.column_names)
+        names.add(tv.view_name)
+        names.add(tv.data_table_name)
+    return {
+        name for name in names
+        if quote_identifier(name) != name
+        and name.upper() not in STRUCTURAL_KEYWORDS
+    }
+
+
+def _check_quoting(
+    statements: list[str],
+    scans: list[StatementScan],
+    quotable: set[str],
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for statement, scan in zip(statements, scans):
+        for name in sorted(quotable):
+            if unquoted_occurrence(statement, name):
+                diagnostics.append(Diagnostic(
+                    "RPC105", "warning", scan.name or "<statement>",
+                    f"identifier {name!r} requires quoting but appears "
+                    "bare in the generated SQL",
+                ))
+    return diagnostics
+
+
+def _physical_basis(
+    view_scans: list[StatementScan],
+) -> dict[str, frozenset[str]]:
+    """Per view, the set of non-view relations it transitively reads."""
+    refs = {scan.name: set(scan.table_refs) for scan in view_scans if scan.name}
+    memo: dict[str, frozenset[str]] = {}
+
+    def leaves(name: str, trail: set[str]) -> frozenset[str]:
+        if name in memo:
+            return memo[name]
+        if name in trail:
+            return frozenset()  # cycle: RPC103 reports it
+        trail = trail | {name}
+        result: set[str] = set()
+        for ref in refs.get(name, ()):
+            if ref in refs:
+                result |= leaves(ref, trail)
+            else:
+                result.add(ref)
+        memo[name] = frozenset(result)
+        return memo[name]
+
+    return {name: leaves(name, set()) for name in refs}
+
+
+def _check_emission_agreement(engine) -> list[Diagnostic]:
+    from repro.backend import codegen
+
+    flat = _physical_basis(
+        [scan_statement(s) for s in codegen.view_statements(engine, flatten=True)]
+    )
+    nested = _physical_basis(
+        [scan_statement(s) for s in codegen.view_statements(engine, flatten=False)]
+    )
+    diagnostics: list[Diagnostic] = []
+    for name in sorted(set(flat) | set(nested)):
+        flat_basis = flat.get(name, frozenset())
+        nested_basis = nested.get(name, frozenset())
+        if flat_basis != nested_basis:
+            diagnostics.append(Diagnostic(
+                "RPC106", "error", name,
+                "flattened and nested emissions disagree on the physical "
+                f"base tables: flat reads {sorted(flat_basis)}, nested "
+                f"reads {sorted(nested_basis)}",
+            ))
+    return diagnostics
+
+
+def verify_delta_code(
+    engine,
+    *,
+    flatten: bool = True,
+    view_statements: list[str] | None = None,
+    trigger_statements: list[str] | None = None,
+) -> list[Diagnostic]:
+    """Statically verify the delta code for ``engine``'s current catalog.
+
+    Generates the program from the catalog unless explicit statements
+    are injected (the seeded-defect tests mutate known-good output and
+    pass it back in).  Returns every finding; callers gate on
+    error-severity ones."""
+    from repro.backend import codegen
+
+    injected = view_statements is not None or trigger_statements is not None
+    if view_statements is None:
+        view_statements = codegen.view_statements(engine, flatten=flatten)
+    if trigger_statements is None:
+        trigger_statements = codegen.trigger_statements(engine)
+
+    view_scans = [scan_statement(s) for s in view_statements]
+    trigger_scans = [scan_statement(s) for s in trigger_statements]
+
+    objects = _physical_objects(engine)
+    view_columns: dict[str, set[str] | None] = dict(
+        _catalog_view_columns(engine)
+    )
+    for scan in view_scans:
+        # A view the statements define but the catalog does not know has
+        # opaque columns; it still counts as a resolvable name.
+        if scan.name and scan.name not in view_columns:
+            view_columns[scan.name] = None
+
+    diagnostics = _resolve_references(
+        view_scans + trigger_scans, objects, view_columns
+    )
+    diagnostics += _check_cycles(view_scans)
+    diagnostics += _check_trigger_completeness(engine, trigger_scans)
+    quotable = _quotable_catalog_names(engine)
+    if quotable:
+        diagnostics += _check_quoting(
+            view_statements + trigger_statements,
+            view_scans + trigger_scans,
+            quotable,
+        )
+    if not injected:
+        diagnostics += _check_emission_agreement(engine)
+    return diagnostics
+
+
+def verify_and_record(engine, *, flatten: bool = True, scope: str) -> dict:
+    """Run the verifier and record the outcome (metrics +
+    ``engine.last_check``); returns the summary dict."""
+    diagnostics = verify_delta_code(engine, flatten=flatten)
+    summary = record_findings(engine, diagnostics, scope=scope)
+    # engine.last_check stays compact; the caller-facing report carries
+    # the individual findings too.
+    return {**summary, "diagnostics": [d.as_dict() for d in diagnostics]}

@@ -1,0 +1,390 @@
+"""BiDEL pre-flight analysis (RPC2xx): check an SMO chain *before* the
+engine runs it.
+
+``CHECK <bidel>`` (and ``python -m repro.check --preflight``) parses the
+script and simulates it over a working copy of the catalog's schema —
+just names and column lists, no data, no delta code — flagging:
+
+- **RPC201** name collisions (schema versions, tables, columns),
+- **RPC202** references to unknown or dropped versions/tables,
+- **RPC203** references to columns the table does not have,
+- **RPC204** information-loss warnings for non-invertible SMOs,
+- **RPC205/RPC206** overlap/gap between partition conditions, found by
+  evaluating both conditions over a small sample grid built from the
+  literals they mention (the engine's own 3-valued
+  :meth:`~repro.expr.ast.Expression.evaluate`).
+
+The analysis is best-effort on a broken chain: after reporting a
+problem it keeps simulating with the most plausible state, so one
+mistake does not drown the rest of the script in noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, is_dataclass
+
+from repro.bidel.ast import (
+    AddColumn,
+    CreateSchemaVersion,
+    CreateTable,
+    Decompose,
+    DropColumn,
+    DropSchemaVersion,
+    DropTable,
+    Join,
+    Materialize,
+    Merge,
+    RenameColumn,
+    RenameTable,
+    Split,
+)
+from repro.bidel.parser import parse_script
+from repro.check.diagnostics import Diagnostic
+from repro.errors import ReproError
+from repro.expr.ast import Expression, Literal, is_true
+
+#: Working schema: live version name -> table name -> column tuple.
+Schema = dict[str, dict[str, tuple[str, ...]]]
+
+_MAX_SAMPLES = 8192
+
+
+def catalog_schema(engine) -> Schema:
+    """The live (non-dropped) versions of ``engine`` as a working schema."""
+    if engine is None:
+        return {}
+    return {
+        version.name: {
+            name: tuple(tv.schema.column_names)
+            for name, tv in version.tables.items()
+        }
+        for version in engine.genealogy.active_versions()
+    }
+
+
+def preflight_script(engine, text: str) -> list[Diagnostic]:
+    """Analyze a BiDEL script against ``engine``'s current catalog (or an
+    empty catalog when ``engine`` is ``None``)."""
+    try:
+        statements = parse_script(text)
+    except ReproError as exc:
+        return [Diagnostic("RPC200", "error", "<script>", str(exc))]
+    versions = catalog_schema(engine)
+    diagnostics: list[Diagnostic] = []
+    for statement in statements:
+        if isinstance(statement, CreateSchemaVersion):
+            _check_create_version(versions, statement, diagnostics)
+        elif isinstance(statement, DropSchemaVersion):
+            if statement.name not in versions:
+                diagnostics.append(Diagnostic(
+                    "RPC202", "error", statement.name,
+                    f"no such live schema version {statement.name!r} "
+                    "(DROP SCHEMA VERSION)",
+                ))
+            else:
+                del versions[statement.name]
+        elif isinstance(statement, Materialize):
+            _check_materialize(versions, statement, diagnostics)
+    return diagnostics
+
+
+def _check_materialize(versions: Schema, statement: Materialize,
+                       diagnostics: list[Diagnostic]) -> None:
+    for target in statement.targets:
+        version, _, table = target.partition(".")
+        if version not in versions:
+            diagnostics.append(Diagnostic(
+                "RPC202", "error", target,
+                f"MATERIALIZE target {target!r}: no such live schema "
+                "version",
+            ))
+        elif table and table not in versions[version]:
+            diagnostics.append(Diagnostic(
+                "RPC202", "error", target,
+                f"MATERIALIZE target {target!r}: version {version!r} has "
+                f"no table {table!r}",
+            ))
+
+
+def _check_create_version(versions: Schema, statement: CreateSchemaVersion,
+                          diagnostics: list[Diagnostic]) -> None:
+    if statement.name in versions:
+        diagnostics.append(Diagnostic(
+            "RPC201", "error", statement.name,
+            f"schema version {statement.name!r} already exists",
+        ))
+    if statement.source is None:
+        tables: dict[str, tuple[str, ...]] = {}
+    elif statement.source not in versions:
+        diagnostics.append(Diagnostic(
+            "RPC202", "error", statement.name,
+            f"source schema version {statement.source!r} does not exist "
+            "or was dropped",
+        ))
+        tables = {}
+    else:
+        tables = dict(versions[statement.source])
+    for smo in statement.smos:
+        _apply_smo(statement.name, tables, smo, diagnostics)
+    versions[statement.name] = tables
+
+
+def _apply_smo(version: str, tables: dict[str, tuple[str, ...]], smo,
+               diagnostics: list[Diagnostic]) -> None:
+    def at(table: str) -> str:
+        return f"{version}.{table}"
+
+    def report(code: str, severity: str, table: str, message: str) -> None:
+        diagnostics.append(Diagnostic(code, severity, at(table), message))
+
+    def require_table(table: str) -> tuple[str, ...] | None:
+        columns = tables.get(table)
+        if columns is None:
+            report("RPC202", "error", table,
+                   f"table {table!r} does not exist at this point of the "
+                   "chain")
+        return columns
+
+    def require_columns(table: str, needed, columns) -> None:
+        for column in needed:
+            if column not in columns:
+                report("RPC203", "error", table,
+                       f"column {column!r} does not exist in {table!r} "
+                       f"(has: {', '.join(columns) or 'no columns'})")
+
+    def collision(name: str, *, besides: tuple[str, ...] = ()) -> bool:
+        if name in tables and name not in besides:
+            report("RPC201", "error", name,
+                   f"table {name!r} already exists in this version")
+            return True
+        return False
+
+    if isinstance(smo, CreateTable):
+        collision(smo.table)
+        seen: set[str] = set()
+        for column in smo.columns:
+            if column.name in seen:
+                report("RPC201", "error", smo.table,
+                       f"duplicate column {column.name!r} in CREATE TABLE")
+            seen.add(column.name)
+        tables[smo.table] = tuple(c.name for c in smo.columns)
+    elif isinstance(smo, DropTable):
+        if require_table(smo.table) is not None:
+            report("RPC204", "warning", smo.table,
+                   f"dropping table {smo.table!r} hides its rows from "
+                   "this version; they stay reachable only through "
+                   "co-existing versions")
+            del tables[smo.table]
+    elif isinstance(smo, RenameTable):
+        columns = require_table(smo.table)
+        collision(smo.new_name, besides=(smo.table,))
+        if columns is not None:
+            del tables[smo.table]
+            tables[smo.new_name] = columns
+    elif isinstance(smo, RenameColumn):
+        columns = require_table(smo.table)
+        if columns is None:
+            return
+        require_columns(smo.table, (smo.column,), columns)
+        if smo.new_name in columns and smo.new_name != smo.column:
+            report("RPC201", "error", smo.table,
+                   f"column {smo.new_name!r} already exists in {smo.table!r}")
+        tables[smo.table] = tuple(
+            smo.new_name if c == smo.column else c for c in columns
+        )
+    elif isinstance(smo, AddColumn):
+        columns = require_table(smo.table)
+        if columns is None:
+            return
+        if smo.column in columns:
+            report("RPC201", "error", smo.table,
+                   f"column {smo.column!r} already exists in {smo.table!r}")
+        require_columns(smo.table, sorted(smo.function.columns()), columns)
+        tables[smo.table] = (*columns, smo.column)
+    elif isinstance(smo, DropColumn):
+        columns = require_table(smo.table)
+        if columns is None:
+            return
+        require_columns(smo.table, (smo.column,), columns)
+        remaining = tuple(c for c in columns if c != smo.column)
+        require_columns(smo.table, sorted(smo.default.columns()), remaining)
+        report("RPC204", "warning", smo.table,
+               f"dropping column {smo.column!r} is lossy backward: rows "
+               "created in this version reconstruct it from the DEFAULT "
+               "expression")
+        tables[smo.table] = remaining
+    elif isinstance(smo, Decompose):
+        columns = require_table(smo.table)
+        if columns is None:
+            return
+        require_columns(smo.table, smo.first_columns, columns)
+        require_columns(smo.table, smo.second_columns, columns)
+        collision(smo.first_table, besides=(smo.table,))
+        del tables[smo.table]
+        tables[smo.first_table] = tuple(smo.first_columns)
+        if smo.second_table is not None:
+            collision(smo.second_table, besides=())
+            second = tuple(smo.second_columns)
+            if smo.kind.method == "FK" and smo.kind.fk_column:
+                second = (*second, smo.kind.fk_column)
+            tables[smo.second_table] = second
+            if smo.kind.method == "COND" and smo.kind.condition is not None:
+                require_columns(
+                    smo.table, sorted(smo.kind.condition.columns()), columns
+                )
+    elif isinstance(smo, Join):
+        first = require_table(smo.first_table)
+        second = require_table(smo.second_table)
+        if first is None or second is None:
+            return
+        collision(smo.target, besides=(smo.first_table, smo.second_table))
+        joint = (*first, *[c for c in second if c not in first])
+        if smo.kind.method == "FK" and smo.kind.fk_column:
+            require_columns(smo.second_table, (smo.kind.fk_column,), second)
+        if smo.kind.method == "COND" and smo.kind.condition is not None:
+            require_columns(
+                smo.target, sorted(smo.kind.condition.columns()), joint
+            )
+        if not smo.outer:
+            report("RPC204", "warning", smo.target,
+                   "inner JOIN is lossy: rows without a join partner are "
+                   "invisible in the target (use OUTER JOIN to keep them)")
+        del tables[smo.first_table]
+        if smo.second_table in tables:
+            del tables[smo.second_table]
+        tables[smo.target] = joint
+    elif isinstance(smo, Split):
+        columns = require_table(smo.table)
+        if columns is None:
+            return
+        collision(smo.first_table, besides=(smo.table,))
+        require_columns(
+            smo.table, sorted(smo.first_condition.columns()), columns
+        )
+        del tables[smo.table]
+        tables[smo.first_table] = columns
+        if smo.second_table is None:
+            report("RPC204", "warning", smo.first_table,
+                   "single-target SPLIT is lossy: rows not matching the "
+                   "condition are invisible in the new version")
+        else:
+            collision(smo.second_table, besides=())
+            assert smo.second_condition is not None
+            require_columns(
+                smo.table, sorted(smo.second_condition.columns()), columns
+            )
+            tables[smo.second_table] = columns
+            _check_partition(
+                version, smo.first_table, smo.first_condition,
+                smo.second_condition, diagnostics, gap_is_loss=True,
+            )
+    elif isinstance(smo, Merge):
+        first = require_table(smo.first_table)
+        second = require_table(smo.second_table)
+        collision(smo.target, besides=(smo.first_table, smo.second_table))
+        if first is not None:
+            require_columns(
+                smo.first_table, sorted(smo.first_condition.columns()), first
+            )
+            del tables[smo.first_table]
+        if second is not None:
+            require_columns(
+                smo.second_table, sorted(smo.second_condition.columns()),
+                second,
+            )
+            if smo.second_table in tables:
+                del tables[smo.second_table]
+        if first is not None or second is not None:
+            tables[smo.target] = first or second or ()
+            _check_partition(
+                version, smo.target, smo.first_condition,
+                smo.second_condition, diagnostics, gap_is_loss=False,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Partition-condition overlap/gap analysis
+# ---------------------------------------------------------------------------
+
+
+def _literal_values(expression: Expression) -> list:
+    """Every literal value mentioned anywhere inside ``expression``."""
+    values: list = []
+
+    def walk(node) -> None:
+        if isinstance(node, Literal):
+            values.append(node.value)
+            return
+        if not is_dataclass(node):
+            return
+        for field in fields(node):
+            value = getattr(node, field.name)
+            if isinstance(value, Expression):
+                walk(value)
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Expression):
+                        walk(item)
+
+    walk(expression)
+    return values
+
+
+def _sample_values(first: Expression, second: Expression) -> list:
+    """Candidate values per column: the literals both conditions mention,
+    their numeric neighbours (to probe strict-vs-inclusive boundaries),
+    a few generic values, and NULL."""
+    values: list = [None, 0, 1, -1]
+    for literal in (*_literal_values(first), *_literal_values(second)):
+        if literal not in values:
+            values.append(literal)
+        if isinstance(literal, (int, float)) and not isinstance(literal, bool):
+            for neighbour in (literal - 1, literal + 1):
+                if neighbour not in values:
+                    values.append(neighbour)
+    return values
+
+
+def _check_partition(version: str, table: str, first: Expression,
+                     second: Expression, diagnostics: list[Diagnostic],
+                     *, gap_is_loss: bool) -> None:
+    columns = sorted(first.columns() | second.columns())
+    if not columns:
+        return
+    values = _sample_values(first, second)
+    # Cap the grid: with many columns, probe a per-column slice instead
+    # of the full cartesian product.
+    while len(values) ** len(columns) > _MAX_SAMPLES and len(values) > 3:
+        values = values[:-1]
+    overlap_row = gap_row = None
+    for combo in itertools.product(values, repeat=len(columns)):
+        row = dict(zip(columns, combo))
+        try:
+            first_hit = is_true(first.evaluate(row))
+            second_hit = is_true(second.evaluate(row))
+        except ReproError:
+            continue
+        if overlap_row is None and first_hit and second_hit:
+            overlap_row = row
+        # NULL satisfies neither side of any comparison pair (3-valued
+        # logic), so a NULL witness would flag every split ever written;
+        # only a fully non-NULL row counts as a gap.
+        if (gap_row is None and not first_hit and not second_hit
+                and all(v is not None for v in row.values())):
+            gap_row = row
+        if overlap_row is not None and gap_row is not None:
+            break
+    if overlap_row is not None:
+        diagnostics.append(Diagnostic(
+            "RPC205", "warning", f"{version}.{table}",
+            f"partition conditions overlap: {overlap_row!r} satisfies "
+            f"both ({first.to_sql()}) and ({second.to_sql()})",
+        ))
+    if gap_row is not None:
+        diagnostics.append(Diagnostic(
+            "RPC206", "warning", f"{version}.{table}",
+            f"partition conditions leave a gap: {gap_row!r} satisfies "
+            f"neither ({first.to_sql()}) nor ({second.to_sql()})"
+            + (" — such rows are lost" if gap_is_loss else ""),
+        ))

@@ -62,7 +62,7 @@ class WorkloadRecorder:
     """
 
     READ_KINDS = frozenset({"select"})
-    EXCLUDED_KINDS = frozenset({"ddl", "explain"})
+    EXCLUDED_KINDS = frozenset({"ddl", "explain", "check"})
 
     def __init__(self, metrics=None):
         if metrics is None:

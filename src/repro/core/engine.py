@@ -158,9 +158,13 @@ class InVerDa:
         # every transition (evolution, MATERIALIZE, drop). Compiled
         # statement plans are tagged with it, so a plan can never outlive
         # the catalog it was lowered against.
-        self.catalog_generation = 0
+        self.catalog_generation = 0  # repro-lint: allow(RPC302) — initial value, no catalog exists yet
         # (generation, fingerprint) memo for catalog_fingerprint().
         self._fingerprint_memo: tuple[int, str] | None = None
+        # Summary of the most recent static-analysis run (repro.check):
+        # set by record_findings(), surfaced in the stats snapshot and the
+        # server status report.
+        self.last_check: dict | None = None
         from repro.core.advisor import WorkloadRecorder
         from repro.obs.metrics import MetricsRegistry
         from repro.obs.tracing import Tracer
@@ -887,8 +891,9 @@ class InVerDa:
         self._invalidate_semantics_caches()
         self._propagation_needs.clear()
         # Bump before after_materialize so a persisting backend records
-        # the new generation with the regenerated delta code.
-        self.catalog_generation += 1
+        # the new generation with the regenerated delta code.  Only ever
+        # called from materialize(), which holds the write lock.
+        self.catalog_generation += 1  # repro-lint: allow(RPC302)
         for backend in self._backends:
             backend.after_materialize()
 

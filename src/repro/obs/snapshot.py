@@ -17,6 +17,7 @@ Schema (``schema`` key names the version of this very layout)::
       "workload": {"reads": {...}, "writes": {...}},
       "metrics": {...},                 # MetricsRegistry.snapshot()
       "tracing": {...},                 # Tracer.stats()
+      "check": {...} | None,            # last static-analysis summary
       "pool": {...},                    # live backend only
     }
 """
@@ -42,6 +43,7 @@ def engine_snapshot(engine, *, backend=None, include_metrics: bool = True) -> di
             "writes": dict(engine.workload.writes),
         },
         "tracing": engine.tracer.stats(),
+        "check": engine.last_check,
     }
     if include_metrics:
         snapshot["metrics"] = engine.metrics.snapshot()

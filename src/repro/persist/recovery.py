@@ -161,6 +161,24 @@ def verify_layout(
     return problems
 
 
+def _verify_delta_code(engine: "InVerDa") -> list[str]:
+    """The static delta-code verifier as the third recovery gate: a
+    catalog whose regenerated views or triggers do not resolve must not
+    come back up.  Fingerprints catch *changed* catalogs; this catches
+    *inconsistent* ones (a deeper, semantic complement).  Warnings are
+    recorded but never block recovery."""
+    from repro.check.delta import verify_delta_code
+    from repro.check.diagnostics import record_findings
+
+    findings = verify_delta_code(engine)
+    record_findings(engine, findings, scope="recovery")
+    return [
+        f"delta code: [{d.code}] {d.obj}: {d.message}"
+        for d in findings
+        if d.severity == "error"
+    ]
+
+
 def recover(
     engine: "InVerDa",
     connection: sqlite3.Connection,
@@ -181,10 +199,13 @@ def recover(
     started = time.perf_counter()
     state = CatalogStore(connection).load()
     replay_into(engine, state.entries)
-    engine.catalog_generation = state.generation
+    # Recovery rebuilds a fresh, unshared engine; no session can hold
+    # the read side yet.
+    engine.catalog_generation = state.generation  # repro-lint: allow(RPC302)
     if not force:
         problems = verify_catalog(engine, state)
         problems += verify_layout(engine, connection, repair=repair)
+        problems += _verify_delta_code(engine)
         if problems:
             raise CatalogCorruptError(
                 "the persisted catalog does not match this database "

@@ -243,7 +243,7 @@ class RemoteConnection(BaseConnection):
         payload = {
             key: status[key]
             for key in ("schema", "plan_cache", "catalog", "workload",
-                        "tracing", "metrics", "pool")
+                        "tracing", "metrics", "check", "pool")
             if key in status
         }
         payload["backend"] = self._backend_name
@@ -255,6 +255,17 @@ class RemoteConnection(BaseConnection):
         op — same payload the ``--metrics-port`` HTTP endpoint serves)."""
         self._check_open("metrics_text")
         return str(self._request({"op": "metrics"}).get("text", ""))
+
+    def check(self, script: str) -> dict:
+        """Static pre-flight of a BiDEL script on the server (the
+        ``check`` op): ``{"findings": [...], "summary": {...}}`` — the
+        structured twin of executing ``CHECK <script>`` on a cursor."""
+        self._check_open("check")
+        reply = self._request({"op": "check", "script": script})
+        return {
+            "findings": reply.get("findings", []),
+            "summary": reply.get("summary", {}),
+        }
 
     # -- statement tracing -------------------------------------------------
 

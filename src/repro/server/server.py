@@ -361,6 +361,24 @@ class _ClientHandler:
     def _op_status(self, request: dict) -> dict:
         return self.server.status()
 
+    def _op_check(self, request: dict) -> dict:
+        """Static pre-flight of a BiDEL script, structured: one dict per
+        diagnostic plus the summary.  The SQL-level ``CHECK <bidel>``
+        statement rides the ordinary execute op; this op serves clients
+        that want the findings without a cursor."""
+        from repro.check.diagnostics import record_findings
+        from repro.check.preflight import preflight_script
+
+        engine = self.server.engine
+        script = str(request.get("script", ""))
+        with engine.catalog_lock.read_locked():
+            diagnostics = preflight_script(engine, script)
+            summary = record_findings(engine, diagnostics, scope="server-check")
+        return {
+            "findings": [d.as_dict() for d in diagnostics],
+            "summary": summary,
+        }
+
     def _op_metrics(self, request: dict) -> dict:
         """The engine's metrics registry in Prometheus text format — the
         wire-protocol twin of the ``--metrics-port`` HTTP endpoint."""
@@ -393,6 +411,7 @@ _OPS = {
     "txn": _ClientHandler._op_txn,
     "ping": _ClientHandler._op_ping,
     "status": _ClientHandler._op_status,
+    "check": _ClientHandler._op_check,
     "metrics": _ClientHandler._op_metrics,
     "close": _ClientHandler._op_close,
 }

@@ -184,3 +184,17 @@ class Explain(SqlStatement):
 
     statement: SqlStatement = None  # type: ignore[assignment]
     param_count: int = 0
+
+
+@dataclass(frozen=True)
+class Check(SqlStatement):
+    """``CHECK <bidel script>`` — static pre-flight analysis.
+
+    The wrapped BiDEL script is analyzed against the current catalog
+    without executing anything: the result set is one row per
+    diagnostic (code, severity, object, message).  The catalog, the
+    plan cache, and the workload data stay untouched.
+    """
+
+    script: str = ""
+    param_count: int = 0

@@ -76,7 +76,7 @@ from repro.errors import (
     SchemaError,
 )
 from repro.relational.types import DataType
-from repro.sql.ast import BidelStatement, Explain, SqlStatement
+from repro.sql.ast import BidelStatement, Check, Explain, SqlStatement
 from repro.sql.parser import parse_statement
 from repro.sql.plancache import DdlPlan
 from repro.sql.planner import StatementResult, compile_statement_memory
@@ -171,6 +171,40 @@ class ExplainPlan:
             rows.append(("plan_cached", "off"))
         return StatementResult(
             description=_EXPLAIN_DESCRIPTION, rows=rows, rowcount=len(rows)
+        )
+
+
+_CHECK_DESCRIPTION = (
+    ("code", DataType.TEXT, None, None, None, None, None),
+    ("severity", DataType.TEXT, None, None, None, None, None),
+    ("object", DataType.TEXT, None, None, None, None, None),
+    ("message", DataType.TEXT, None, None, None, None, None),
+)
+
+
+class CheckPlan:
+    """The compiled form of ``CHECK <bidel script>``: runs the static
+    pre-flight analyzer over the wrapped script against the current
+    catalog and reports one row per diagnostic.  Nothing is executed and
+    nothing is mutated — the catalog generation, the plan cache, and the
+    workload data stay exactly as they were."""
+
+    kind = "check"
+    param_count = 0
+
+    def __init__(self, script: str):
+        self.script = script
+
+    def run_check(self, connection: "Connection", operation: str) -> StatementResult:
+        from repro.check.diagnostics import record_findings
+        from repro.check.preflight import preflight_script
+
+        engine = connection.engine
+        diagnostics = preflight_script(engine, self.script)
+        record_findings(engine, diagnostics, scope="check-statement")
+        rows = [d.as_row() for d in diagnostics]
+        return StatementResult(
+            description=_CHECK_DESCRIPTION, rows=rows, rowcount=len(rows)
         )
 
 
@@ -486,6 +520,11 @@ class Cursor(BaseCursor):
                     self._install_result(plan.run_explain(connection, operation))
                 engine.workload.record(connection.version_name, "explain")
                 return "explain"
+            if plan.kind == "check":
+                with _translated_errors():
+                    self._install_result(plan.run_check(connection, operation))
+                engine.workload.record(connection.version_name, "check")
+                return "check"
             if plan.kind != "ddl":
                 params = _normalize_params(parameters, plan.param_count)
                 if plan.kind == "select":
@@ -557,7 +596,7 @@ class Cursor(BaseCursor):
             self.cache_event = (
                 "hit" if cached else ("miss" if connection._use_plan_cache else "off")
             )
-            if plan.kind in ("select", "ddl", "explain"):
+            if plan.kind in ("select", "ddl", "explain", "check"):
                 raise ProgrammingError("executemany() only accepts DML statements")
             if plan.kind == "insert":
                 normalized = [
@@ -688,7 +727,7 @@ class Connection(BaseConnection):
         statement = parse_statement(operation)
         with _translated_errors():
             plan = self._compile(statement)
-        if cache is not None and plan.kind not in ("ddl", "explain"):
+        if cache is not None and plan.kind not in ("ddl", "explain", "check"):
             # DDL executions bump the generation and clear the cache, so a
             # DDL entry could never be hit again — don't churn LRU slots
             # that could hold hot DML plans (re-parse is already cheap via
@@ -718,6 +757,11 @@ class Connection(BaseConnection):
             return DdlPlan(statement)
         if isinstance(statement, Explain):
             return ExplainPlan(self._compile(statement.statement))
+        if isinstance(statement, Check):
+            # Compiled before the stale-session guard: CHECK reads only
+            # the catalog, never the data plane, so a pre-attach
+            # connection may still run it (like DDL and EXPLAIN over it).
+            return CheckPlan(statement.script)
         if self._session is None:
             if self.engine.live_backend is not None:
                 # This connection predates the backend attach; its data
@@ -921,19 +965,21 @@ class Connection(BaseConnection):
             # bounds the statement's effects.  Conflicts with other
             # sessions surface as SQLite lock errors, not silent joins.
             session = self._session
+            # The savepoint name is generated here (stmt_<counter>), never
+            # user input, so no identifier quoting applies.
             savepoint = f"stmt_{next(_scope_counter)}"
             with _translated_errors():
-                session.execute(f"SAVEPOINT {savepoint}")
+                session.execute(f"SAVEPOINT {savepoint}")  # repro-lint: allow(RPC301)
             try:
                 yield
             except BaseException:
                 if not session.closed:
-                    session.execute(f"ROLLBACK TO {savepoint}")
-                    session.execute(f"RELEASE {savepoint}")
+                    session.execute(f"ROLLBACK TO {savepoint}")  # repro-lint: allow(RPC301)
+                    session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
                 raise
             else:
                 with _translated_errors():
-                    session.execute(f"RELEASE {savepoint}")
+                    session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
             return
         engine = self.engine
         if engine._undo_log is None:

@@ -34,6 +34,7 @@ from repro.expr.lexer import Token, tokenize
 from repro.expr.parser import ExpressionParser
 from repro.sql.ast import (
     BidelStatement,
+    Check,
     Delete,
     Explain,
     Insert,
@@ -149,6 +150,14 @@ class SqlParser:
             raise self._error("empty or malformed statement")
         if self._is_bidel_script():
             return BidelStatement(self._text)
+        if token.value.upper() == "CHECK":
+            self._next()
+            if not self._is_bidel_script():
+                raise self._error(
+                    "CHECK applies to BiDEL DDL (CREATE/DROP SCHEMA "
+                    "VERSION, MATERIALIZE)"
+                )
+            return Check(script=self._script_tail())
         if token.value.upper() == "EXPLAIN":
             self._next()
             if self._is_bidel_script():
@@ -174,6 +183,14 @@ class SqlParser:
             f"unsupported statement {token.value!r}; expected SELECT, INSERT, "
             "UPDATE, DELETE, EXPLAIN, or BiDEL DDL"
         )
+
+    def _script_tail(self) -> str:
+        """The source text from the current token onward — the BiDEL
+        script wrapped by a CHECK prefix, passed through verbatim."""
+        token = self._peek()
+        lines = self._text.splitlines(keepends=True)
+        offset = sum(len(line) for line in lines[:token.line - 1])
+        return self._text[offset + token.column - 1:]
 
     def _is_bidel_script(self) -> bool:
         first, second, third = self._peek(0), self._peek(1), self._peek(2)

@@ -284,7 +284,7 @@ def build_insert_mappings(
     for values in stmt.rows:
         if len(values) != len(columns):
             raise ProgrammingError(
-                f"INSERT expects {len(columns)} values per row, got {len(values)}"
+                f"row has {len(values)} values; INSERT expects {len(columns)}"
             )
         mappings.append(
             {

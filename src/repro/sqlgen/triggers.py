@@ -11,14 +11,39 @@ the test suite.)
 
 from __future__ import annotations
 
+import re
+
 from repro.datalog.ast import Assign, Atom, Compare, CondLit, RuleSet
 from repro.datalog.delta import derive_delta_rules
 
 
 def _render_condition(literal: CondLit, row_var: str) -> str:
+    """Qualify the condition's column references with the trigger row
+    variable (``NEW``/``OLD``).
+
+    One single-pass, whole-word rewrite.  A sequential ``str.replace``
+    would corrupt the SQL twice over: a column name occurring inside a
+    longer identifier matches as a substring (``id`` inside ``uid`` →
+    ``uNEW.id``), and a later column's replacement can re-match text an
+    earlier one produced.  Matching identifier tokens (longest name
+    first) outside string literals rules both out.
+    """
     rendered = literal.expression.to_sql()
-    for column, _term in literal.columns:
-        rendered = rendered.replace(column, f"{row_var}.{column}")
+    columns = sorted({column for column, _term in literal.columns},
+                     key=len, reverse=True)
+    if not columns:
+        return rendered if literal.positive else f"NOT ({rendered})"
+    pattern = re.compile(
+        r"\b(?:" + "|".join(re.escape(c) for c in columns) + r")\b"
+    )
+    # Split on ' so odd-indexed segments are string-literal bodies; only
+    # rewrite outside them.
+    segments = rendered.split("'")
+    for i in range(0, len(segments), 2):
+        segments[i] = pattern.sub(
+            lambda m: f"{row_var}.{m.group(0)}", segments[i]
+        )
+    rendered = "'".join(segments)
     return rendered if literal.positive else f"NOT ({rendered})"
 
 

@@ -1,0 +1,113 @@
+"""The ``CHECK <bidel>`` SQL statement on the in-process transport:
+parsing, result shape, and its no-side-effects contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import InVerDa
+from repro.errors import ProgrammingError
+from repro.sql.ast import Check
+from repro.sql.connection import connect
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def engine():
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b INTEGER);"
+    )
+    return engine
+
+
+class TestParsing:
+    def test_check_wraps_the_script_verbatim(self):
+        statement = parse_statement(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+        assert isinstance(statement, Check)
+        assert statement.script == (
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+
+    def test_check_materialize(self):
+        statement = parse_statement("CHECK MATERIALIZE v1;")
+        assert isinstance(statement, Check)
+        assert statement.script == "MATERIALIZE v1;"
+
+    def test_check_multiline_script(self):
+        statement = parse_statement(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH\n"
+            "  DROP TABLE R;"
+        )
+        assert isinstance(statement, Check)
+        assert statement.script.startswith("CREATE SCHEMA VERSION v2")
+        assert "DROP TABLE R" in statement.script
+
+    def test_check_rejects_dml(self):
+        with pytest.raises(ProgrammingError, match="CHECK applies to BiDEL"):
+            parse_statement("CHECK SELECT * FROM R")
+
+
+class TestExecution:
+    def test_result_shape(self, engine):
+        cursor = connect(engine, "v1").cursor()
+        cursor.execute(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+        assert [d[0] for d in cursor.description] == [
+            "code", "severity", "object", "message",
+        ]
+        rows = cursor.fetchall()
+        assert rows and rows[0][0] == "RPC204"
+        assert rows[0][1] == "warning"
+
+    def test_clean_script_yields_no_rows(self, engine):
+        cursor = connect(engine, "v1").cursor()
+        cursor.execute(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "ADD COLUMN c AS a + b INTO R;"
+        )
+        assert cursor.fetchall() == []
+
+    def test_executemany_rejects_check(self, engine):
+        cursor = connect(engine, "v1").cursor()
+        with pytest.raises(ProgrammingError):
+            cursor.executemany("CHECK MATERIALIZE v1;", [()])
+
+
+class TestNoSideEffects:
+    def test_catalog_untouched(self, engine):
+        connection = connect(engine, "v1")
+        generation = engine.catalog_generation
+        fingerprint = engine.catalog_fingerprint()
+        connection.cursor().execute(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+        assert engine.catalog_generation == generation
+        assert engine.catalog_fingerprint() == fingerprint
+        assert sorted(engine.version_names()) == ["v1"]
+
+    def test_plan_cache_not_polluted(self, engine):
+        connection = connect(engine, "v1")
+        before = engine.plan_cache.stats()["size"]
+        connection.cursor().execute("CHECK MATERIALIZE v1;")
+        assert engine.plan_cache.stats()["size"] == before
+
+    def test_workload_counts_check_but_excludes_it_from_advice(self, engine):
+        connection = connect(engine, "v1")
+        connection.cursor().execute("CHECK MATERIALIZE v1;")
+        counts = engine.workload._counter.values()
+        assert counts.get(("v1", "check"), 0) == 1
+        # Introspection must not skew the materialization advisor.
+        assert engine.workload.reads.get("v1", 0) == 0
+        assert engine.workload.writes.get("v1", 0) == 0
+
+    def test_last_check_summary(self, engine):
+        connection = connect(engine, "v1")
+        connection.cursor().execute(
+            "CHECK CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+        assert engine.last_check["scope"] == "check-statement"
+        assert engine.last_check["warnings"] == 1

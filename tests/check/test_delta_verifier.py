@@ -1,0 +1,209 @@
+"""The delta-code verifier: clean on generator output, and every seeded
+defect class flagged with its stable diagnostic code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import codegen
+from repro.check.delta import verify_and_record, verify_delta_code
+from repro.check.diagnostics import error_count
+from repro.core.engine import InVerDa
+from repro.workloads.tasky import build_tasky
+
+
+@pytest.fixture
+def engine():
+    """Two versions over one table; the second column needs quoting
+    (``alter`` is a SQL keyword) so the quoting pass has a target."""
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, alter INTEGER);"
+    )
+    engine.execute(
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c AS a + 1 INTO R;"
+    )
+    return engine
+
+
+def _emission(engine, *, flatten=True):
+    return (
+        codegen.view_statements(engine, flatten=flatten),
+        codegen.trigger_statements(engine),
+    )
+
+
+class TestCleanOutput:
+    def test_clean_on_generator_output(self, engine):
+        for flatten in (True, False):
+            assert verify_delta_code(engine, flatten=flatten) == []
+
+    def test_clean_on_tasky(self):
+        scenario = build_tasky(50, seed=11)
+        for flatten in (True, False):
+            findings = verify_delta_code(scenario.engine, flatten=flatten)
+            assert findings == [], [d.render() for d in findings]
+
+
+class TestSeededDefects:
+    """Mutate known-good delta code; each defect class must be flagged
+    with the right code."""
+
+    def test_dangling_column_rpc102(self, engine):
+        views, triggers = _emission(engine)
+        views = [s.replace("f3.a AS a", "f3.zz AS a") for s in views]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert [d.code for d in findings] == ["RPC102"]
+        assert findings[0].severity == "error"
+
+    def test_reference_to_dropped_table_rpc101(self, engine):
+        views, triggers = _emission(engine)
+        views = [s.replace("d__0__R", "d__9__GONE") for s in views]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert {d.code for d in findings} == {"RPC101"}
+
+    def test_missing_trigger_operation_rpc104(self, engine):
+        views, triggers = _emission(engine)
+        triggers = [t for t in triggers if "tg__0__delete" not in t]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert [d.code for d in findings] == ["RPC104"]
+        assert "DELETE" in findings[0].message
+
+    def test_unquoted_identifier_rpc105(self, engine):
+        views, triggers = _emission(engine)
+        views = [s.replace('"alter"', "alter") for s in views]
+        triggers = [t.replace('"alter"', "alter") for t in triggers]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert findings and {d.code for d in findings} == {"RPC105"}
+        assert all(d.severity == "warning" for d in findings)
+        assert error_count(findings) == 0
+
+    def test_view_cycle_rpc103(self, engine):
+        views = codegen.view_statements(engine, flatten=False)
+        triggers = codegen.trigger_statements(engine)
+        assert "v0__R" in views[1]  # nested emission: v1 reads v0
+        views = [views[0].replace("d__0__R", "v1__R")] + views[1:]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert "RPC103" in {d.code for d in findings}
+
+    def test_unknown_qualifier_rpc102(self, engine):
+        """The corruption class the old trigger renderer could produce
+        (``uid`` rewritten into ``uNEW.id``) resolves to an unknown
+        qualifier — the verifier must flag it."""
+        views, triggers = _emission(engine)
+        triggers = [t.replace("NEW.a", "uNEW.a") for t in triggers]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        assert findings and {d.code for d in findings} == {"RPC102"}
+        assert any("uNEW" in d.message for d in findings)
+
+
+class TestRecordingSurfaces:
+    def test_verify_and_record_sets_last_check(self, engine):
+        report = verify_and_record(engine, scope="unit")
+        assert report["errors"] == 0
+        assert report["diagnostics"] == []
+        assert engine.last_check["scope"] == "unit"
+        # last_check stays compact: the per-finding list is not embedded.
+        assert "diagnostics" not in engine.last_check
+
+    def test_findings_counter(self, engine):
+        views, triggers = _emission(engine)
+        triggers = [t for t in triggers if "tg__0__delete" not in t]
+        findings = verify_delta_code(
+            engine, view_statements=views, trigger_statements=triggers
+        )
+        from repro.check.diagnostics import record_findings
+
+        record_findings(engine, findings, scope="unit")
+        text = engine.metrics.render_prometheus()
+        assert "repro_check_findings_total" in text
+        assert 'code="RPC104"' in text
+
+    def test_snapshot_carries_last_check(self, engine):
+        from repro.obs.snapshot import engine_snapshot
+
+        verify_and_record(engine, scope="unit")
+        snapshot = engine_snapshot(engine)
+        assert snapshot["check"]["scope"] == "unit"
+
+
+class TestRecoveryIntegration:
+    def test_recovery_runs_verifier(self, tmp_path):
+        import repro
+
+        path = str(tmp_path / "checked.db")
+        engine = repro.open(path)
+        engine.execute("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);")
+        engine.live_backend.close()
+
+        recovered = repro.open(path)
+        try:
+            assert recovered.last_check is not None
+            assert recovered.last_check["scope"] == "recovery"
+            assert recovered.last_check["errors"] == 0
+        finally:
+            recovered.live_backend.close()
+
+
+class TestTransitionVerification:
+    def test_opt_in_hook_runs_after_ddl(self, tmp_path):
+        from repro.backend.sqlite import LiveSqliteBackend
+
+        engine = InVerDa()
+        engine.execute("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);")
+        backend = LiveSqliteBackend.attach(engine, verify_transitions=True)
+        try:
+            engine.execute(
+                "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS a INTO T;"
+            )
+            assert engine.last_check["scope"] == "transition:evolution"
+            engine.execute("MATERIALIZE v2;")
+            assert engine.last_check["scope"] == "transition:materialize"
+        finally:
+            backend.close()
+
+    def test_off_by_default(self):
+        from repro.backend.sqlite import LiveSqliteBackend
+
+        engine = InVerDa()
+        engine.execute("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);")
+        backend = LiveSqliteBackend.attach(engine)
+        try:
+            engine.execute(
+                "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS a INTO T;"
+            )
+            assert engine.last_check is None
+        finally:
+            backend.close()
+
+
+class TestCli:
+    def test_cli_db_mode(self, tmp_path, capsys):
+        import repro
+        from repro.check.__main__ import run
+
+        path = str(tmp_path / "cli.db")
+        engine = repro.open(path)
+        engine.execute("CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);")
+        engine.live_backend.close()
+
+        assert run(["--db", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_cli_requires_a_mode(self, capsys):
+        from repro.check.__main__ import run
+
+        assert run([]) == 2

@@ -1,0 +1,195 @@
+"""BiDEL pre-flight analysis: every RPC2xx diagnostic has a triggering
+script, and sound chains pass clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.preflight import preflight_script
+from repro.core.engine import InVerDa
+
+
+@pytest.fixture
+def engine():
+    engine = InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b INTEGER);"
+    )
+    return engine
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestParseFailure:
+    def test_rpc200(self, engine):
+        findings = preflight_script(engine, "CREATE SCHEMA VERSION !!!")
+        assert codes(findings) == ["RPC200"]
+        assert findings[0].severity == "error"
+
+
+class TestCollisions:
+    def test_version_collision_rpc201(self, engine):
+        findings = preflight_script(
+            engine, "CREATE SCHEMA VERSION v1 WITH CREATE TABLE X(a INTEGER);"
+        )
+        assert "RPC201" in codes(findings)
+
+    def test_table_collision_rpc201(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH CREATE TABLE R(x INTEGER);",
+        )
+        assert "RPC201" in codes(findings)
+
+    def test_column_collision_rpc201(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN a AS b INTO R;",
+        )
+        assert "RPC201" in codes(findings)
+
+
+class TestDanglingReferences:
+    def test_unknown_source_version_rpc202(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM nope WITH CREATE TABLE X(a INTEGER);",
+        )
+        assert "RPC202" in codes(findings)
+
+    def test_dropped_version_rpc202(self, engine):
+        findings = preflight_script(
+            engine,
+            "DROP SCHEMA VERSION v1;\n"
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH CREATE TABLE X(a INTEGER);",
+        )
+        assert "RPC202" in codes(findings)
+
+    def test_dropped_table_rpc202(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "DROP TABLE R; RENAME COLUMN a IN R TO z;",
+        )
+        assert "RPC202" in codes(findings)
+
+    def test_unknown_column_rpc203(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c AS zz + 1 INTO R;",
+        )
+        assert "RPC203" in codes(findings)
+
+    def test_materialize_unknown_version_rpc202(self, engine):
+        findings = preflight_script(engine, "MATERIALIZE nope;")
+        assert codes(findings) == ["RPC202"]
+
+
+class TestInformationLoss:
+    def test_drop_table_rpc204(self, engine):
+        findings = preflight_script(
+            engine, "CREATE SCHEMA VERSION v2 FROM v1 WITH DROP TABLE R;"
+        )
+        assert "RPC204" in codes(findings)
+        assert all(d.severity == "warning" for d in findings)
+
+    def test_drop_column_rpc204(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH DROP COLUMN b FROM R DEFAULT 0;",
+        )
+        assert "RPC204" in codes(findings)
+
+    def test_inner_join_rpc204(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "DECOMPOSE TABLE R INTO S(a), T(b) ON PK;\n"
+            "CREATE SCHEMA VERSION v3 FROM v2 WITH "
+            "JOIN TABLE S, T INTO U ON PK;",
+        )
+        assert "RPC204" in codes(findings)
+
+    def test_single_target_split_rpc204(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH SPLIT TABLE R INTO Hot WITH a = 1;",
+        )
+        assert "RPC204" in codes(findings)
+
+
+class TestPartitionAnalysis:
+    def test_overlap_rpc205(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "SPLIT TABLE R INTO S1 WITH a >= 1, S2 WITH a <= 1;",
+        )
+        assert "RPC205" in codes(findings)
+
+    def test_gap_rpc206(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "SPLIT TABLE R INTO S1 WITH a > 1, S2 WITH a < 1;",
+        )
+        assert "RPC206" in codes(findings)
+
+    def test_clean_partition(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "SPLIT TABLE R INTO S1 WITH a >= 1, S2 WITH a < 1;",
+        )
+        assert "RPC205" not in codes(findings)
+        assert "RPC206" not in codes(findings)
+
+    def test_sql_modulo_gap_is_caught(self, engine):
+        """``a % 2 = 0 / = 1`` looks total but gaps at negative values
+        under SQL remainder semantics (sign of the dividend) — exactly
+        the class of subtle partition bug the sample grid probes for."""
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "SPLIT TABLE R INTO S1 WITH a % 2 = 0, S2 WITH a % 2 = 1;",
+        )
+        assert "RPC206" in codes(findings)
+
+    def test_merge_gap_is_not_loss(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "DROP TABLE R; "
+            "CREATE TABLE A(x INTEGER); CREATE TABLE B(x INTEGER);\n"
+            "CREATE SCHEMA VERSION v3 FROM v2 WITH "
+            "MERGE TABLE A (x > 1), B (x < 1) INTO C;",
+        )
+        gap = [d for d in findings if d.code == "RPC206"]
+        assert gap and "lost" not in gap[0].message
+
+
+class TestCleanChains:
+    def test_tasky_like_chain_is_quiet(self, engine):
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+            "RENAME COLUMN a IN R TO aa; ADD COLUMN c AS aa + b INTO R;",
+        )
+        assert findings == []
+
+    def test_no_engine_means_empty_catalog(self):
+        findings = preflight_script(
+            None, "CREATE SCHEMA VERSION v1 WITH CREATE TABLE T(a INTEGER);"
+        )
+        assert findings == []
+
+    def test_best_effort_continues_after_error(self, engine):
+        """A broken statement must not drown later, independent problems."""
+        findings = preflight_script(
+            engine,
+            "CREATE SCHEMA VERSION v2 FROM nope WITH CREATE TABLE X(a INTEGER);\n"
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE Y(a INTEGER);",
+        )
+        assert {"RPC202", "RPC201"} <= set(codes(findings))

@@ -1,0 +1,115 @@
+"""``CHECK`` over the wire: pre-flight diagnostics must round-trip the
+remote transport unchanged and leave the server-side catalog untouched."""
+
+from __future__ import annotations
+
+import repro
+from repro.server.client import connect_remote
+
+DROP_TASK = "CHECK CREATE SCHEMA VERSION Tmp FROM TasKy WITH DROP TABLE Task;"
+
+
+def remote(server, version="TasKy", **kwargs):
+    kwargs.setdefault("timeout", 30.0)
+    kwargs.setdefault("autocommit", True)
+    return connect_remote(*server.address, version, **kwargs)
+
+
+class TestCheckStatement:
+    def test_rows_match_local_execution(self, tasky_server):
+        scenario, server = tasky_server
+        conn = remote(server)
+        local = repro.connect(scenario.engine, "TasKy", autocommit=True)
+        try:
+            remote_cursor = conn.execute(DROP_TASK)
+            local_cursor = local.execute(DROP_TASK)
+            assert remote_cursor.fetchall() == local_cursor.fetchall()
+            assert [d[0] for d in remote_cursor.description] == [
+                "code", "severity", "object", "message",
+            ]
+        finally:
+            conn.close()
+
+    def test_codes_and_severities_round_trip(self, tasky_server):
+        _, server = tasky_server
+        conn = remote(server)
+        try:
+            rows = conn.execute(DROP_TASK).fetchall()
+            assert [(row[0], row[1]) for row in rows] == [("RPC204", "warning")]
+            rows = conn.execute("CHECK CREATE SCHEMA VERSION Nope FROM Gone "
+                                "WITH DROP TABLE Task;").fetchall()
+            # The unknown source version also cascades into an unknown table.
+            assert {(row[0], row[1]) for row in rows} == {("RPC202", "error")}
+            assert len(rows) == 2
+        finally:
+            conn.close()
+
+    def test_clean_script_yields_no_rows(self, tasky_server):
+        _, server = tasky_server
+        conn = remote(server)
+        try:
+            rows = conn.execute(
+                "CHECK CREATE SCHEMA VERSION Tmp FROM TasKy WITH "
+                "RENAME TABLE Task INTO Chore;"
+            ).fetchall()
+            assert rows == []
+        finally:
+            conn.close()
+
+
+class TestStructuredOp:
+    def test_client_check_returns_findings_and_summary(self, tasky_server):
+        _, server = tasky_server
+        conn = remote(server)
+        try:
+            result = conn.check(
+                "CREATE SCHEMA VERSION Tmp FROM TasKy WITH DROP TABLE Task;"
+            )
+            assert [f["code"] for f in result["findings"]] == ["RPC204"]
+            assert set(result["findings"][0]) == {
+                "code", "severity", "object", "message",
+            }
+            assert result["summary"]["warnings"] == 1
+            assert result["summary"]["errors"] == 0
+        finally:
+            conn.close()
+
+    def test_summary_lands_in_stats(self, tasky_server):
+        _, server = tasky_server
+        conn = remote(server)
+        try:
+            conn.check("CREATE SCHEMA VERSION Tmp FROM TasKy WITH DROP TABLE Task;")
+            check = conn.stats()["check"]
+            assert check["scope"] == "server-check"
+            assert check["findings"] == 1
+        finally:
+            conn.close()
+
+
+class TestNoSideEffects:
+    def test_catalog_not_mutated_server_side(self, tasky_server):
+        scenario, server = tasky_server
+        engine = scenario.engine
+        generation = engine.catalog_generation
+        fingerprint = engine.catalog_fingerprint()
+        versions = sorted(engine.version_names())
+        conn = remote(server)
+        try:
+            conn.execute(DROP_TASK).fetchall()
+            conn.check("MATERIALIZE 'TasKy2';")
+        finally:
+            conn.close()
+        assert engine.catalog_generation == generation
+        assert engine.catalog_fingerprint() == fingerprint
+        assert sorted(engine.version_names()) == versions
+
+    def test_plan_cache_not_polluted(self, tasky_server):
+        scenario, server = tasky_server
+        conn = remote(server)
+        try:
+            conn.execute("SELECT author FROM Task").fetchall()
+            before = scenario.engine.plan_cache.stats()["size"]
+            conn.execute(DROP_TASK).fetchall()
+            assert scenario.engine.plan_cache.stats()["size"] == before
+        finally:
+            conn.close()
