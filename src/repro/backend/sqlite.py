@@ -176,7 +176,10 @@ class LiveSqliteBackend:
         self.recovery_seconds = None
         # Test hook: callable(point: str) invoked at named points inside
         # catalog transitions, so the crash-safety suite can simulate a
-        # process dying between the catalog write and the commit.
+        # process dying between the catalog write and the commit.  Any
+        # callable works: one-shot closures for targeted crash tests, or
+        # repro.testing.RandomFaultInjector for seeded probability-based
+        # injection across a long soak run.
         self.fault_injector = None
         #: When True, the static delta-code verifier runs after every
         #: committed catalog transition (off the statement hot path, but

@@ -1,0 +1,27 @@
+"""Continuous-evolution soak testing: randomized SMO streams under live
+mixed workloads, differentially checked against the memory oracle.
+
+Entry points:
+
+- :class:`SoakConfig` / :func:`run_soak` — programmatic API;
+- ``python -m repro.soak`` — the CLI (seeded, JSON reports, one-command
+  failure replay);
+- :data:`repro.soak.probes.PROBE_FACTORIES` — the invariant probe
+  catalog.
+"""
+
+from repro.soak.harness import SoakConfig, SoakHarness, run_soak
+from repro.soak.probes import PROBE_FACTORIES, FinalState, Probe, ProbeReport, make_probes
+from repro.soak.stream import SmoStream
+
+__all__ = [
+    "FinalState",
+    "PROBE_FACTORIES",
+    "Probe",
+    "ProbeReport",
+    "SmoStream",
+    "SoakConfig",
+    "SoakHarness",
+    "make_probes",
+    "run_soak",
+]

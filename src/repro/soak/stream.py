@@ -1,0 +1,132 @@
+"""The randomized BiDEL SMO stream: continuous evolution as a workload.
+
+Generates evolution / MATERIALIZE / drop scripts against the *live*
+catalog — every script is derived from whatever versions and tables
+exist at generation time, so the stream composes indefinitely.  The
+menu is deliberately restricted to the differentially-safe subset the
+suite in ``tests/backend/test_differential.py`` established:
+
+- identity columns (:data:`repro.workloads.orders.PROTECTED_COLUMNS`)
+  are never dropped or renamed, so client SQL keyed on them survives
+  every generated version;
+- SPLIT always emits *complementary* conditions (``c % 2 = 0`` /
+  ``c % 2 = 1``), so every row stays visible somewhere in the version
+  and the lost-write probe stays sound;
+- TEXT columns are never used in expressions or conditions, and
+  generated columns are always integer-valued.
+
+The harness gates every script through :func:`repro.check.preflight_script`
+before execution — the generator aims to emit only valid scripts, but
+the gate is what *guarantees* invalid ones never reach the engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine import InVerDa
+from repro.relational.types import DataType
+from repro.workloads.orders import PROTECTED_COLUMNS
+
+
+class SmoStream:
+    """Seeded generator of BiDEL scripts against ``engine``'s live catalog."""
+
+    def __init__(
+        self,
+        engine: InVerDa,
+        seed: int,
+        *,
+        protected: frozenset[str] = PROTECTED_COLUMNS,
+        min_versions: int = 2,
+        max_versions: int = 9,
+    ):
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.protected = protected
+        self.min_versions = min_versions
+        self.max_versions = max_versions
+        self.counter = 0
+
+    # -- catalog introspection ---------------------------------------------
+
+    def _droppable(self, actives: list[str]) -> list[str]:
+        """Leaf versions: nothing active derives from them.  Dropping only
+        leaves keeps the genealogy replayable and lets the stream prune
+        the same lineage it grew."""
+        if len(actives) <= self.min_versions:
+            return []
+        parents = {
+            self.engine.genealogy.schema_version(name).parent for name in actives
+        }
+        return [name for name in actives if name not in parents]
+
+    def _fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- script generation --------------------------------------------------
+
+    def next_script(self) -> tuple[str, str] | None:
+        """Generate ``(kind, script)`` for the next stream event, or None
+        when the catalog offers nothing safe to do."""
+        actives = self.engine.version_names()
+        if not actives:
+            return None
+        droppable = self._droppable(actives)
+        if len(actives) >= self.max_versions and droppable:
+            return "drop", f"DROP SCHEMA VERSION {self.rng.choice(droppable)};\n"
+        kinds = ["evolve"] * 5 + ["materialize"] * 2
+        if droppable:
+            kinds += ["drop"] * 3
+        kind = self.rng.choice(kinds)
+        if kind == "drop":
+            return kind, f"DROP SCHEMA VERSION {self.rng.choice(droppable)};\n"
+        if kind == "materialize":
+            return kind, f"MATERIALIZE '{self.rng.choice(actives)}';\n"
+        return self._evolution(actives)
+
+    def _evolution(self, actives: list[str]) -> tuple[str, str] | None:
+        source = self.rng.choice(actives)
+        version = self.engine.genealogy.schema_version(source)
+        table = self.rng.choice(sorted(version.tables))
+        schema = version.tables[table].schema
+        int_cols = [
+            c.name for c in schema.columns
+            if c.dtype is not DataType.TEXT and c.name not in ("tenant", "sku")
+        ]
+        mutable = [c.name for c in schema.columns if c.name not in self.protected]
+        mutable_int = [name for name in mutable if name in int_cols]
+
+        options: list[str] = []
+        if int_cols:
+            options += ["add"] * 3 + ["split"]
+        if mutable:
+            options += ["rename_column"] * 2
+        if mutable_int and schema.arity >= 3:
+            options += ["drop_column"] * 2
+        options += ["rename_table"]
+        choice = self.rng.choice(options)
+
+        if choice == "add":
+            fresh = self._fresh("c")
+            a = self.rng.choice(int_cols)
+            b = self.rng.choice(int_cols)
+            expr = self.rng.choice([f"{a} + {b}", f"{a} * 2", f"{a} + 1", f"{a} % 5"])
+            smo = f"ADD COLUMN {fresh} AS {expr} INTO {table};"
+        elif choice == "rename_column":
+            fresh = self._fresh("c")
+            smo = f"RENAME COLUMN {self.rng.choice(mutable)} IN {table} TO {fresh};"
+        elif choice == "drop_column":
+            smo = f"DROP COLUMN {self.rng.choice(mutable_int)} FROM {table} DEFAULT 0;"
+        elif choice == "rename_table":
+            smo = f"RENAME TABLE {table} INTO {self._fresh('T')};"
+        else:  # split
+            cond = self.rng.choice(int_cols)
+            left, right = self._fresh("P"), self._fresh("Q")
+            smo = (
+                f"SPLIT TABLE {table} INTO {left} WITH {cond} % 2 = 0, "
+                f"{right} WITH {cond} % 2 = 1;"
+            )
+        name = self._fresh("s")
+        return "evolve", f"CREATE SCHEMA VERSION {name} FROM {source} WITH\n{smo}\n"

@@ -715,6 +715,16 @@ class Connection(BaseConnection):
         for the next statement).  Must run under the catalog read lock so
         the generation tag is stable while the plan is compiled and used.
         Returns ``(plan, cached)`` where ``cached`` reports a cache hit."""
+        if self._version.dropped:
+            # Without this guard a session pinned to a dropped version
+            # could keep executing statements against table versions the
+            # dropped version *shares* with surviving ones (their views
+            # outlive the drop).  The documented contract — and what the
+            # network server already enforces — is a clean OperationalError.
+            raise OperationalError(
+                f"schema version {self._version.name!r} was dropped; close "
+                "this connection and reconnect to a live version"
+            )
         engine = self.engine
         cache = engine.plan_cache if self._use_plan_cache else None
         generation = engine.catalog_generation

@@ -1,0 +1,127 @@
+"""Fault injection for the live backend's catalog transitions.
+
+:class:`~repro.backend.sqlite.LiveSqliteBackend` crosses named fault
+points inside every catalog transition (``evolution:after-catalog``,
+``materialize:staged``, ``drop:before-commit``, ...) and calls
+``backend.fault_injector(point)`` at each one.  The crash-safety suite
+installs one-shot callables that raise at a single point; a soak run
+needs something longer-lived: a *seeded* injector that fires with a
+configured probability per point, so a 60-second run peppers transitions
+with faults and the exact firing pattern replays from the seed.
+
+Both styles are plain callables — the backend hook does not care which
+one it holds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an injector to abort a catalog transition mid-flight.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: the SQL layer
+    must never translate an injected fault into a polite database error —
+    it models the process dying, and it should surface loudly.
+    """
+
+    def __init__(self, point: str, visit: int):
+        super().__init__(f"injected fault at {point!r} (visit #{visit})")
+        self.point = point
+        self.visit = visit
+
+
+def one_shot(point: str, exception: type[Exception] = InjectedFault) -> Callable[[str], None]:
+    """The classic crash-test injector: raise the first time ``point`` is
+    crossed, then stay quiet so recovery can proceed."""
+    fired = False
+
+    def injector(current: str) -> None:
+        nonlocal fired
+        if current == point and not fired:
+            fired = True
+            if exception is InjectedFault:
+                raise InjectedFault(point, 1)
+            raise exception(f"injected fault at {point!r}")
+
+    return injector
+
+
+class RandomFaultInjector:
+    """Seeded, probability-based fault injection with per-point rates.
+
+    ``rates`` maps fault-point names to probabilities in ``[0, 1]``; a
+    point missing from the map never fires.  The injector draws from its
+    own :class:`random.Random`, so for a fixed seed and the same sequence
+    of visited points the firing pattern is fully deterministic — a soak
+    failure report only needs the seed to replay the faults.
+
+    Every crossing is recorded in :attr:`visits` and every injection in
+    :attr:`fired`, so tests and reports can show exactly which transition
+    died.  Set :attr:`armed` to ``False`` to keep counting visits without
+    injecting (useful while draining a run).
+    """
+
+    def __init__(
+        self,
+        rates: dict[str, float],
+        *,
+        seed: int = 0,
+        exception: type[InjectedFault] = InjectedFault,
+    ):
+        for point, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {point!r} must be in [0, 1], got {rate}")
+        self.rates = dict(rates)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.exception = exception
+        self.visits: list[str] = []
+        self.fired: list[tuple[int, str]] = []
+        self.armed = True
+
+    def __call__(self, point: str) -> None:
+        self.visits.append(point)
+        rate = self.rates.get(point, 0.0)
+        if rate <= 0.0:
+            return
+        # Draw even when disarmed or certain to fire: the rng stream then
+        # depends only on the visit sequence, never on arming flips.
+        draw = self.rng.random()
+        if not self.armed:
+            return
+        if draw < rate:
+            self.fired.append((len(self.visits), point))
+            raise self.exception(point, len(self.visits))
+
+    def describe(self) -> dict:
+        """A JSON-friendly account of what the injector did, for reports."""
+        return {
+            "seed": self.seed,
+            "rates": dict(self.rates),
+            "visits": len(self.visits),
+            "fired": [{"visit": visit, "point": point} for visit, point in self.fired],
+        }
+
+
+def parse_fault_spec(spec: str) -> dict[str, float]:
+    """Parse a CLI fault spec like ``evolution:before-commit=1.0,drop:before-commit=0.5``.
+
+    The point name itself contains a colon, so the rate is separated by
+    ``=``; multiple points are comma-separated.
+    """
+    rates: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        point, sep, rate_text = part.rpartition("=")
+        if not sep or not point:
+            raise ValueError(
+                f"bad fault spec {part!r}: expected <point>=<rate>, e.g. "
+                "evolution:before-commit=1.0"
+            )
+        rates[point.strip()] = float(rate_text)
+    return rates

@@ -1,6 +1,7 @@
 """Workload scenarios driving the evaluation (Section 8)."""
 
 from repro.workloads.mixes import WorkloadMix, adoption_curve, run_mix
+from repro.workloads.orders import OrdersScenario, assign_version_pins, build_orders
 from repro.workloads.tasky import TaskyScenario, build_tasky
 from repro.workloads.micro import TWO_SMO_FIRST, TWO_SMO_SECOND, build_two_smo_scenario
 from repro.workloads.wikimedia import WikimediaScenario, build_wikimedia
@@ -14,6 +15,9 @@ __all__ = [
     "build_two_smo_scenario",
     "TWO_SMO_FIRST",
     "TWO_SMO_SECOND",
+    "OrdersScenario",
+    "assign_version_pins",
+    "build_orders",
     "WikimediaScenario",
     "build_wikimedia",
 ]

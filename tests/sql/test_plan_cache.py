@@ -163,6 +163,29 @@ class TestStaleConnections:
         stale.close()
         live.close()
 
+    @pytest.mark.parametrize("backend_kind", BACKENDS)
+    def test_session_pinned_to_a_dropped_version_refuses_cleanly(
+        self, engine, backend_kind
+    ):
+        """v1's table versions survive inside v2, so without an explicit
+        guard a session still pinned to the dropped v1 could keep planning
+        against the shared delta code.  The contract (and what the network
+        server enforces) is a clean OperationalError naming the version."""
+        from repro.errors import OperationalError
+
+        engine.execute(
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c AS a + 1 INTO R;"
+        )
+        conn = _connect(engine, backend_kind, version="v1")
+        sql = "SELECT a FROM R"
+        conn.execute(sql)  # caches a plan for the doomed version
+        engine.execute("DROP SCHEMA VERSION v1;")
+        with pytest.raises(OperationalError, match="'v1' was dropped"):
+            conn.execute(sql)  # the cached-plan path
+        with pytest.raises(OperationalError, match="'v1' was dropped"):
+            conn.execute("SELECT b FROM R")  # the fresh-compile path
+        conn.close()
+
 
 class TestExecutemany:
     @pytest.mark.parametrize("backend_kind", BACKENDS)
