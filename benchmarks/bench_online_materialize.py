@@ -1,0 +1,214 @@
+"""Online MATERIALIZE under live load: serving keeps flowing mid-move.
+
+The claim `MATERIALIZE ONLINE` must back up with numbers: while a
+100k-row table is moved to a new physical representation, a mixed
+read/write workload from concurrent clients keeps executing — no
+statement errors, p95 statement latency *during the move* bounded.
+
+Run it::
+
+    python benchmarks/bench_online_materialize.py            # full (100k rows)
+    python benchmarks/bench_online_materialize.py --smoke    # CI gate
+
+``--smoke`` keeps the 100k-row table (that floor is the point) but
+shortens the warm-up, asserts the availability gate (zero statement
+errors; p95 during the move under ``--budget-ms``), and records the
+measured numbers to ``BENCH_online.json`` so the availability trajectory
+persists across PRs.
+"""
+
+import argparse
+import os
+import random
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+ROWS = 100_000
+CLIENTS = 8
+CHUNK_ROWS = 4096
+
+
+SMALL_ROWS = 2_000
+
+
+def build(rows: int, database: str):
+    import repro
+    from repro.backend.sqlite import LiveSqliteBackend
+
+    engine = repro.InVerDa()
+    engine.execute(
+        "CREATE SCHEMA VERSION v1 WITH\n"
+        "CREATE TABLE R(a INTEGER, b INTEGER);\n"
+        "CREATE TABLE S(a INTEGER, b INTEGER);"
+    )
+    backend = LiveSqliteBackend.attach(
+        engine, database=database, pool_size=CLIENTS + 4
+    )
+    conn = repro.connect(engine, "v1", autocommit=True, backend=backend)
+    conn.executemany(
+        "INSERT INTO R(a, b) VALUES (?, ?)", [(i, i * 2) for i in range(rows)]
+    )
+    conn.executemany(
+        "INSERT INTO S(a, b) VALUES (?, ?)", [(i, i) for i in range(SMALL_ROWS)]
+    )
+    conn.close()
+    engine.execute(
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH\n"
+        "ADD COLUMN c AS a + b INTO R;\n"
+        "ADD COLUMN c AS a + b INTO S;"
+    )
+    return engine, backend
+
+
+def client_loop(engine, backend, version, stop, samples, errors, seed):
+    """One client: mixed reads and writes until ``stop`` is set.
+
+    Point reads and updates hit the small table ``S``, inserts land in
+    the big table ``R`` — both are being moved, so updates exercise the
+    change-capture repair and inserts the tail copy, while each
+    statement stays cheap enough that the sample stream is dense.
+    Appends ``(t_done, seconds)`` per statement to ``samples`` — the
+    move window is cut out of that stream afterwards.
+    """
+    import repro
+
+    rng = random.Random(seed)
+    conn = repro.connect(engine, version, autocommit=True, backend=backend)
+    try:
+        while not stop.is_set():
+            key = rng.randrange(SMALL_ROWS)
+            op = rng.random()
+            start = time.perf_counter()
+            try:
+                if op < 0.65:
+                    conn.execute(
+                        "SELECT a, b FROM S WHERE a = ?", (key,)
+                    ).fetchall()
+                elif op < 0.80:
+                    conn.execute(
+                        "UPDATE S SET b = b + 1 WHERE a = ?", (key,)
+                    )
+                else:
+                    conn.execute(
+                        "INSERT INTO R(a, b) VALUES (?, ?)",
+                        (rng.randrange(1_000_000_000) + 10_000_000, key),
+                    )
+            except Exception as exc:  # any statement error breaks the claim
+                errors.append(repr(exc))
+                return
+            done = time.perf_counter()
+            samples.append((done, done - start))
+    finally:
+        conn.close()
+
+
+def p95(durations):
+    if not durations:
+        return 0.0
+    ranked = sorted(durations)
+    return ranked[min(len(ranked) - 1, int(0.95 * len(ranked)))]
+
+
+def run(rows: int, clients: int, warmup: float):
+    workdir = tempfile.mkdtemp(prefix="repro-bench-online-")
+    engine, backend = build(rows, os.path.join(workdir, "online.db"))
+    stop = threading.Event()
+    per_client = [[] for _ in range(clients)]
+    errors: list[str] = []
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(engine, backend, "v1" if i % 2 else "v2", stop,
+                  per_client[i], errors, 7 * i + 1),
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(warmup)  # steady-state latencies before the move starts
+    move_start = time.perf_counter()
+    engine.materialize(["v2"], online=True, chunk_rows=CHUNK_ROWS)
+    move_end = time.perf_counter()
+    time.sleep(min(warmup, 0.5))  # a post-move tail for comparison
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    backend.close()
+
+    samples = [s for client in per_client for s in client]
+    during = [d for done, d in samples if move_start <= done <= move_end]
+    outside = [d for done, d in samples if done < move_start or done > move_end]
+    return {
+        "rows": rows,
+        "clients": clients,
+        "chunk_rows": CHUNK_ROWS,
+        "move_seconds": move_end - move_start,
+        "statements_total": len(samples),
+        "statements_during_move": len(during),
+        "p95_during_move_ms": p95(during) * 1000,
+        "p95_outside_move_ms": p95(outside) * 1000,
+        "mean_during_move_ms": (
+            statistics.mean(during) * 1000 if during else 0.0
+        ),
+        "errors": errors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: shorter warm-up, assert availability, record "
+        "BENCH_online.json",
+    )
+    parser.add_argument(
+        "--budget-ms",
+        type=float,
+        default=500.0,
+        help="p95-during-move budget the smoke gate asserts (milliseconds)",
+    )
+    args = parser.parse_args(argv)
+
+    warmup = 0.5 if args.smoke else 2.0
+    result = run(args.rows, args.clients, warmup)
+
+    print(f"online MATERIALIZE of {result['rows']:,} rows, "
+          f"{result['clients']} live clients (65/15/20 read/update/insert):")
+    print(f"  move took            {result['move_seconds'] * 1000:10.1f} ms")
+    print(f"  statements total     {result['statements_total']:10d}")
+    print(f"  statements in move   {result['statements_during_move']:10d}")
+    print(f"  p95 during move      {result['p95_during_move_ms']:10.2f} ms")
+    print(f"  p95 outside move     {result['p95_outside_move_ms']:10.2f} ms")
+    print(f"  statement errors     {len(result['errors']):10d}")
+
+    if args.smoke:
+        from record import record
+
+        path = record("online", result, extra={"budget_ms": args.budget_ms})
+        print(f"recorded -> {path}")
+        assert not result["errors"], (
+            f"statements failed during the move: {result['errors'][:3]}"
+        )
+        assert result["statements_during_move"] > 0, (
+            "no statement completed during the move — serving stalled"
+        )
+        assert result["p95_during_move_ms"] <= args.budget_ms, (
+            f"p95 during move {result['p95_during_move_ms']:.1f} ms exceeds "
+            f"the {args.budget_ms:.0f} ms budget"
+        )
+        print("smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

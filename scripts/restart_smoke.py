@@ -171,6 +171,29 @@ def main() -> int:
         ).fetchall()
         assert rows == [(1,)], f"write through Do! did not propagate: {rows}"
         conn.close()
+
+        print("== phase 5: SIGTERM drains gracefully and exits 0")
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30)
+        for line in process.stdout:
+            sys.stdout.write(f"  [server] {line}")
+        assert returncode == 0, (
+            f"drained server exited {returncode}, expected 0"
+        )
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+
+    print("== phase 6: the drained file reopens clean (no recovery repairs)")
+    process, host, port, _metrics = start_server("--db", database)
+    try:
+        conn = connect(host, port, "TasKy")
+        rows = conn.execute(
+            "SELECT prio FROM Task WHERE task = ?", ("post-restart",)
+        ).fetchall()
+        assert rows == [(1,)], f"post-drain reopen lost data: {rows}"
+        conn.close()
     finally:
         process.send_signal(signal.SIGKILL)
         process.wait()

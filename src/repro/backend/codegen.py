@@ -246,7 +246,7 @@ def _aux_stage_name(smo: SmoInstance, role: str) -> str:
 
 
 def migration_statements(
-    engine, schema: frozenset[SmoInstance]
+    engine, schema: frozenset[SmoInstance], staged: dict[int, str] | None = None
 ) -> tuple[list[str], list[str]]:
     """(stage_statements, swap_statements) implementing ``MATERIALIZE``.
 
@@ -255,9 +255,16 @@ def migration_statements(
     each SMO's newly stored side.  Swap statements (run after the generated
     views/triggers are dropped) drop the old tables and rename the staged
     ones into place.  Shared aux tables (ID) survive unchanged.
+
+    ``staged`` maps table-version uids to tables that were *already*
+    staged elsewhere (the online backfill's chunked copies): those skip
+    the one-shot stage copy and the swap renames the pre-staged table
+    into place instead.  Aux tables are always rebuilt here — they are
+    small derived state, not worth tracking incrementally.
     """
     ctx = HandlerContext(engine)
     genealogy = engine.genealogy
+    staged = staged or {}
     stage: list[str] = []
     swap: list[str] = []
 
@@ -269,13 +276,15 @@ def migration_statements(
     ]
 
     for tv in new_physical:
-        name = tv.stage_table_name
-        columns = ", ".join(["p", *qcols(tv.schema.column_names)])
-        stage += [
-            f"DROP TABLE IF EXISTS {q(name)}",
-            table_ddl(name, tv.schema.column_names),
-            f"INSERT INTO {q(name)} SELECT {columns} FROM {q(tv.view_name)}",
-        ]
+        name = staged.get(tv.uid)
+        if name is None:
+            name = tv.stage_table_name
+            columns = ", ".join(["p", *qcols(tv.schema.column_names)])
+            stage += [
+                f"DROP TABLE IF EXISTS {q(name)}",
+                table_ddl(name, tv.schema.column_names),
+                f"INSERT INTO {q(name)} SELECT {columns} FROM {q(tv.view_name)}",
+            ]
         swap += [
             f"DROP TABLE IF EXISTS {q(tv.data_table_name)}",
             f"ALTER TABLE {q(name)} RENAME TO {q(tv.data_table_name)}",

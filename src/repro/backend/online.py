@@ -1,0 +1,375 @@
+"""Online MATERIALIZE: the journaled backfill / change-capture plan.
+
+The offline migration (:func:`repro.backend.codegen.migration_statements`)
+copies every new physical table in one transaction under the engine's
+catalog write lock — a stop-the-world outage proportional to data volume.
+The online pipeline splits the same move into three phases:
+
+1. **prepare** — create one (empty) backfill staging table per new
+   physical data table, a single change-capture table
+   (``_repro_backfill_dirty``), and ``AFTER INSERT/UPDATE/DELETE``
+   capture triggers on every physical table the moved views read from,
+   then journal the move in ``_repro_catalog_backfill`` — all in one
+   transaction, under a brief write-lock window.
+2. **backfill** — chunked keyset-paginated copies from the *live* views
+   into the staging tables, each chunk its own transaction holding only
+   the read side of the engine RWLock, with the journal cursor advanced
+   in the same transaction.  Concurrent writes keep flowing: the capture
+   triggers record every touched row identifier, and each chunk repairs
+   the staged rows those identifiers name, so staging is never more than
+   one chunk stale.
+3. **cutover** — a brief write-lock window that drains the capture
+   table, copies the keyset tail, verifies counts, tears the capture
+   machinery down, and reuses the offline swap path (with the staged
+   tables standing in for the one-shot copies).
+
+**Trackability.**  Incremental repair keys staged rows by the row
+identifier ``p``.  That is sound exactly when the moved view *preserves*
+identifiers — no SMO on its storage route generates fresh ones (shared
+ID auxiliary tables, :func:`~repro.backend.handlers.has_shared_aux`).
+Targets routed through an identifier-generating SMO are planned as
+non-trackable: they skip the chunked copy and are staged in full during
+cutover (bounded work under the write lock, same as the offline path,
+but only for those tables).  Auxiliary tables are always rebuilt at
+cutover by the reused offline machinery.
+
+All transitional objects are named ``_repro_bf…`` /
+``_repro_backfill_dirty`` so :func:`codegen.generated_object_names`
+(``v%`` / ``tg__%``) never drops them with the delta code, and the
+static verifier can bound them against the journal (RPC107).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.backend.emit import q, qcols, table_ddl
+from repro.backend.handlers import has_shared_aux
+from repro.catalog.materialization import physical_table_versions
+from repro.errors import CatalogError
+from repro.util.naming import physical_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.catalog.genealogy import SmoInstance, TableVersion
+    from repro.core.engine import InVerDa
+
+#: Rows copied per backfill chunk transaction unless overridden.
+DEFAULT_CHUNK_ROWS = 4096
+
+#: Name prefix shared by every transitional backfill object.
+TRANSITIONAL_PREFIX = "_repro_bf"
+
+#: The single change-capture table (row identifiers touched by live
+#: writes during a backfill, in arrival order).
+DIRTY_TABLE = "_repro_backfill_dirty"
+
+_CAPTURE_OPS = ("INSERT", "UPDATE", "DELETE")
+
+
+def is_transitional(name: str) -> bool:
+    """Is ``name`` an online-backfill object (staging table, capture
+    trigger, or the dirty table)?"""
+    return name.startswith(TRANSITIONAL_PREFIX) or name == DIRTY_TABLE
+
+
+def stage_name(tv: "TableVersion") -> str:
+    return physical_name(TRANSITIONAL_PREFIX, str(tv.uid), tv.name)
+
+
+def capture_trigger_name(table: str, op: str) -> str:
+    return physical_name(TRANSITIONAL_PREFIX, "cap", table, op.lower())
+
+
+@dataclass
+class TableMove:
+    """One new physical data table in the move."""
+
+    uid: int
+    name: str
+    data: str  # final physical data table name
+    stage: str  # backfill staging table
+    view: str  # the live view serving the table version's extent
+    columns: list[str]
+    trackable: bool
+
+
+@dataclass
+class MovePlan:
+    """Everything the backfill needs, reconstructible from the journal."""
+
+    smos: list[int]  # sorted target SMO uids (the materialization schema)
+    tables: list[TableMove]
+    sources: list[str]  # physical tables carrying capture triggers
+
+    def trackable(self) -> list[TableMove]:
+        return [move for move in self.tables if move.trackable]
+
+    def staged_map(self) -> dict[int, str]:
+        """tv uid -> pre-staged table, for the offline swap generator."""
+        return {move.uid: move.stage for move in self.trackable()}
+
+    def transitional_names(self) -> set[str]:
+        names = {DIRTY_TABLE}
+        names.update(move.stage for move in self.trackable())
+        for table in self.sources:
+            for op in _CAPTURE_OPS:
+                names.add(capture_trigger_name(table, op))
+        return names
+
+
+@dataclass
+class OnlineMove:
+    """In-memory progress of one running (or resumed) move."""
+
+    plan: MovePlan
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
+    cursors: dict[str, int] = field(default_factory=dict)
+    chunks: int = 0
+    rows: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+def _route_walk(
+    engine: "InVerDa", tv: "TableVersion"
+) -> tuple[list["SmoInstance"], list["TableVersion"]]:
+    """(SMOs, physical table versions) on ``tv``'s current read route,
+    walked the same way the code generator installs views — siblings
+    included, so the result over-approximates what the view touches
+    (conservative for both trackability and capture coverage)."""
+    from repro.backend import codegen
+
+    seen: set[int] = set()
+    smo_uids: set[int] = set()
+    smos: list[SmoInstance] = []
+    physicals: list[TableVersion] = []
+
+    def walk(t: "TableVersion") -> None:
+        if t.uid in seen:
+            return
+        seen.add(t.uid)
+        route = codegen.route_for(engine, t)
+        if route is None:
+            physicals.append(t)
+            return
+        smo, direction = route
+        if smo.uid not in smo_uids:
+            smo_uids.add(smo.uid)
+            smos.append(smo)
+        neighbors = smo.targets if direction == "forward" else smo.sources
+        for neighbor in neighbors:
+            walk(neighbor)
+        for sibling in (*smo.sources, *smo.targets):
+            walk(sibling)
+
+    walk(tv)
+    return smos, physicals
+
+
+def build_plan(engine: "InVerDa", schema: frozenset["SmoInstance"]) -> MovePlan:
+    """Plan the move of the physical representation to ``schema`` from
+    the *current* catalog state (deterministic: the same catalog and
+    target always plan the same object names, which is what lets a
+    resumed move pick up a journaled plan)."""
+    tables: list[TableMove] = []
+    sources: set[str] = set()
+    for tv in physical_table_versions(engine.genealogy, schema):
+        smos, physicals = _route_walk(engine, tv)
+        trackable = not any(has_shared_aux(smo) for smo in smos)
+        if trackable:
+            for ptv in physicals:
+                sources.add(ptv.data_table_name)
+            for smo in smos:
+                semantics = smo.semantics
+                if semantics is None:
+                    continue
+                roles = set(semantics.aux_shared()) | set(
+                    semantics.aux_tgt() if smo.materialized else semantics.aux_src()
+                )
+                for role in roles:
+                    name = smo.aux_table_name(role)
+                    if engine.database.has_table(name):
+                        sources.add(name)
+        tables.append(
+            TableMove(
+                uid=tv.uid,
+                name=tv.name,
+                data=tv.data_table_name,
+                stage=stage_name(tv),
+                view=tv.view_name,
+                columns=list(tv.schema.column_names),
+                trackable=trackable,
+            )
+        )
+    return MovePlan(
+        smos=sorted(smo.uid for smo in schema),
+        tables=tables,
+        sources=sorted(sources),
+    )
+
+
+def plan_payload(plan: MovePlan) -> dict:
+    """The journal serialization of a plan."""
+    return {
+        "smos": plan.smos,
+        "sources": plan.sources,
+        "tables": [
+            {
+                "uid": move.uid,
+                "name": move.name,
+                "data": move.data,
+                "stage": move.stage,
+                "view": move.view,
+                "columns": move.columns,
+                "trackable": move.trackable,
+            }
+            for move in plan.tables
+        ],
+    }
+
+
+def plan_from_payload(payload: dict) -> MovePlan:
+    try:
+        return MovePlan(
+            smos=[int(uid) for uid in payload["smos"]],
+            tables=[
+                TableMove(
+                    uid=int(entry["uid"]),
+                    name=entry["name"],
+                    data=entry["data"],
+                    stage=entry["stage"],
+                    view=entry["view"],
+                    columns=list(entry["columns"]),
+                    trackable=bool(entry["trackable"]),
+                )
+                for entry in payload["tables"]
+            ],
+            sources=list(payload["sources"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CatalogError(f"corrupt backfill journal plan: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: prepare
+# ---------------------------------------------------------------------------
+
+
+def prepare_statements(plan: MovePlan) -> list[str]:
+    """DDL installing the capture machinery and empty staging tables."""
+    statements = [
+        f"DROP TABLE IF EXISTS {q(DIRTY_TABLE)}",
+        f"CREATE TABLE {q(DIRTY_TABLE)} "
+        "(seq INTEGER PRIMARY KEY, p INTEGER NOT NULL)",
+    ]
+    for move in plan.trackable():
+        statements.append(f"DROP TABLE IF EXISTS {q(move.stage)}")
+        statements.append(table_ddl(move.stage, move.columns))
+    record = f"INSERT INTO {q(DIRTY_TABLE)} (p) VALUES"
+    for table in plan.sources:
+        for op in _CAPTURE_OPS:
+            rows = {"INSERT": ["NEW"], "DELETE": ["OLD"], "UPDATE": ["NEW", "OLD"]}[op]
+            body = " ".join(f"{record} ({var}.p);" for var in rows)
+            statements.append(
+                f"CREATE TRIGGER IF NOT EXISTS "
+                f"{q(capture_trigger_name(table, op))} AFTER {op} ON {q(table)} "
+                f"BEGIN {body} END"
+            )
+    return statements
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: backfill chunks
+# ---------------------------------------------------------------------------
+
+
+def chunk_copy_sql(move: TableMove, cursor: int, limit: int) -> str:
+    """Copy the next keyset page ``p > cursor`` into the staging table."""
+    columns = ", ".join(["p", *qcols(move.columns)])
+    return (
+        f"INSERT INTO {q(move.stage)} ({columns}) "
+        f"SELECT {columns} FROM {q(move.view)} "
+        f"WHERE p > {int(cursor)} ORDER BY p LIMIT {int(limit)}"
+    )
+
+
+def staged_max_sql(move: TableMove) -> str:
+    return f"SELECT MAX(p) FROM {q(move.stage)}"
+
+
+def dirty_bound_sql() -> str:
+    return f"SELECT COALESCE(MAX(seq), 0) FROM {q(DIRTY_TABLE)}"
+
+
+def repair_statements(
+    plan: MovePlan, cursors: dict[str, int], bound: int, *, final: bool = False
+) -> list[str]:
+    """Re-derive every staged row whose identifier the capture triggers
+    recorded up to ``bound``, then forget those capture rows.  Bounded to
+    the chunk cursor during the backfill (rows beyond it arrive with a
+    later chunk); unbounded at cutover (``final=True``)."""
+    dirty = f"SELECT p FROM {q(DIRTY_TABLE)} WHERE seq <= {int(bound)}"
+    statements: list[str] = []
+    for move in plan.trackable():
+        fence = "" if final else f" AND p <= {int(cursors.get(move.stage, 0))}"
+        columns = ", ".join(["p", *qcols(move.columns)])
+        statements.append(
+            f"DELETE FROM {q(move.stage)} WHERE p IN ({dirty})"
+        )
+        statements.append(
+            f"INSERT INTO {q(move.stage)} ({columns}) "
+            f"SELECT {columns} FROM {q(move.view)} WHERE p IN ({dirty}){fence}"
+        )
+    statements.append(f"DELETE FROM {q(DIRTY_TABLE)} WHERE seq <= {int(bound)}")
+    return statements
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: cutover
+# ---------------------------------------------------------------------------
+
+
+def tail_copy_statements(plan: MovePlan, cursors: dict[str, int]) -> list[str]:
+    """Copy everything beyond each chunk cursor (runs under the write
+    lock, so the tail is final)."""
+    statements = []
+    for move in plan.trackable():
+        columns = ", ".join(["p", *qcols(move.columns)])
+        statements.append(
+            f"INSERT INTO {q(move.stage)} ({columns}) "
+            f"SELECT {columns} FROM {q(move.view)} "
+            f"WHERE p > {int(cursors.get(move.stage, 0))}"
+        )
+    return statements
+
+
+def count_check_sql(move: TableMove) -> tuple[str, str]:
+    return (
+        f"SELECT COUNT(*) FROM {q(move.stage)}",
+        f"SELECT COUNT(*) FROM {q(move.view)}",
+    )
+
+
+def capture_teardown_statements(plan: MovePlan) -> list[str]:
+    """Drop the capture triggers and the dirty table (staging tables are
+    renamed into place by the swap, or dropped by ``rollback``)."""
+    statements = []
+    for table in plan.sources:
+        for op in _CAPTURE_OPS:
+            statements.append(
+                f"DROP TRIGGER IF EXISTS {q(capture_trigger_name(table, op))}"
+            )
+    statements.append(f"DROP TABLE IF EXISTS {q(DIRTY_TABLE)}")
+    return statements
+
+
+def rollback_statements(plan: MovePlan) -> list[str]:
+    """Undo the prepare phase entirely: capture machinery and staging."""
+    statements = capture_teardown_statements(plan)
+    for move in plan.trackable():
+        statements.append(f"DROP TABLE IF EXISTS {q(move.stage)}")
+    return statements

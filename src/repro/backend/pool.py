@@ -120,6 +120,13 @@ class SessionPool:
     def _configure(self, connection: sqlite3.Connection) -> sqlite3.Connection:
         connection.isolation_level = None  # manual transaction control
         connection.execute(f"PRAGMA busy_timeout = {int(self.busy_timeout * 1000)}")
+        # The online-MATERIALIZE change capture hangs AFTER triggers on the
+        # physical tables; without recursive triggers SQLite would skip
+        # them for writes made *inside* the INSTEAD OF trigger programs
+        # (i.e. every routed write).  No other trigger is affected: the
+        # generated delta code only ever uses INSTEAD OF triggers on
+        # views, which base-table writes cannot fire.
+        connection.execute("PRAGMA recursive_triggers = ON")
         if self.wal:
             # Idempotent: the journal mode is a property of the database
             # file, but every connection must still opt in to NORMAL

@@ -108,6 +108,19 @@ class SqliteSession:
         if not connection.in_transaction:
             connection.execute("BEGIN")
 
+    def begin_immediate(self) -> None:
+        """Open a transaction holding the write lock from the start.
+
+        A deferred transaction that reads first and writes later cannot
+        wait out a concurrent writer in WAL mode: by the time it tries
+        to upgrade, its snapshot is stale and SQLite fails it with
+        ``SQLITE_BUSY_SNAPSHOT`` immediately, busy timeout or not.
+        Taking the lock up front turns that race into an ordinary
+        bounded wait."""
+        connection = self._check_open()
+        if not connection.in_transaction:
+            connection.execute("BEGIN IMMEDIATE")
+
     def commit(self) -> None:
         connection = self._check_open()
         if connection.in_transaction:
@@ -159,6 +172,14 @@ class LiveSqliteBackend:
         self._closed = False
         self._sessions: list[SqliteSession] = []
         self._sessions_lock = threading.Lock()
+        # Fair admission for single-statement write transactions: the
+        # online backfill's chunk loop and autocommit session writes both
+        # take this before BEGIN IMMEDIATE.  SQLite's busy handler makes
+        # blocked writers *poll* (at up to 100 ms intervals), so a chunk
+        # loop re-acquiring the database write lock back-to-back starves
+        # every live writer for the whole move; a Python lock wakes the
+        # next waiter the moment the holder releases.
+        self.write_gate = threading.Lock()
         # The durable catalog (None when persistence is off): every
         # catalog-transition hook writes through it, inside the same
         # transaction as the DDL it installs.
@@ -181,6 +202,10 @@ class LiveSqliteBackend:
         # repro.testing.RandomFaultInjector for seeded probability-based
         # injection across a long soak run.
         self.fault_injector = None
+        #: In-flight online MATERIALIZE (an :class:`repro.backend.online
+        #: .OnlineMove`), set between ``online_prepare`` and the commit of
+        #: ``after_materialize``; ``None`` otherwise.
+        self._online_move = None
         #: When True, the static delta-code verifier runs after every
         #: committed catalog transition (off the statement hot path, but
         #: on the transition path — opt-in via attach()).  Findings land
@@ -207,6 +232,7 @@ class LiveSqliteBackend:
         repair: bool = False,
         force: bool = False,
         verify_transitions: bool = False,
+        resume_backfill: bool | None = True,
     ) -> "LiveSqliteBackend":
         """Snapshot ``engine`` into SQLite, install the generated delta
         code, and register with the engine.
@@ -238,6 +264,15 @@ class LiveSqliteBackend:
         delta-code verifier (:mod:`repro.check`) after every committed
         catalog transition.  The check never touches the statement hot
         path — it costs only on DDL, and nothing at all when left off.
+
+        ``resume_backfill`` decides what happens when the recovered
+        catalog carries an in-flight online-MATERIALIZE journal (the
+        process died mid-backfill): ``True`` (the default) finishes the
+        move — remaining chunks plus cutover — before the open returns,
+        ``False`` rolls the prepare phase back cleanly, and ``None``
+        leaves journal and machinery untouched (static inspection, e.g.
+        ``repro.check --db``).  A stale journal (superseded by a later
+        committed transition) is always rolled back.
         """
         if database == ":memory:":
             database, uri, wal = shared_memory_uri(), True, False
@@ -266,7 +301,9 @@ class LiveSqliteBackend:
         backend.verify_transitions = verify_transitions
         try:
             if persist and CatalogStore.has_catalog(backend.connection):
-                backend._recover(repair=repair, force=force)
+                backend._recover(
+                    repair=repair, force=force, resume_backfill=resume_backfill
+                )
             else:
                 backend._install_fresh(persist=persist)
         except BaseException:
@@ -298,7 +335,9 @@ class LiveSqliteBackend:
             self._abort()
             raise
 
-    def _recover(self, *, repair: bool, force: bool) -> None:
+    def _recover(
+        self, *, repair: bool, force: bool, resume_backfill: bool | None = True
+    ) -> None:
         """Attach to a database that already carries a persisted catalog:
         rebuild the engine from it instead of snapshotting the engine
         over it, and reuse the installed delta code when still current."""
@@ -335,18 +374,74 @@ class LiveSqliteBackend:
             and self._delta_installed()
         ):
             self.delta_reused = True
-            self.recovery_seconds = time.perf_counter() - recover_started
-            return
-        self._begin()
-        try:
-            self.regenerate()
-            self._run(codegen.repair_all_statements(self.engine))
-            store.set_delta_meta(self.engine.catalog_generation, self.flatten)
-            self.connection.commit()
-        except BaseException:
-            self._abort()
-            raise
+        else:
+            self._begin()
+            try:
+                self.regenerate()
+                self._run(codegen.repair_all_statements(self.engine))
+                store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+                self.connection.commit()
+            except BaseException:
+                self._abort()
+                raise
+        self._finish_backfill(resume_backfill)
         self.recovery_seconds = time.perf_counter() - recover_started
+
+    def _finish_backfill(self, resume: bool | None) -> None:
+        """Converge an in-flight online-MATERIALIZE journal found at
+        attach time.
+
+        A journal row means the process died between ``prepare`` and the
+        cutover commit: the capture triggers, staging tables, and chunk
+        cursors are all on disk and the catalog still describes the
+        pre-move state.  ``resume=True`` finishes the move from the
+        recorded cursors (the journal phase tells us nothing more is
+        needed — every chunk committed atomically with its cursor);
+        ``False`` drops the transitional machinery instead; ``None``
+        touches nothing.  A journal whose generation does not match the
+        recovered catalog was superseded by a later committed transition
+        and is rolled back regardless — its staged rows describe a
+        physical layout that no longer exists.
+        """
+        from repro.backend import online
+
+        if self.store is None:
+            return
+        record = self.store.read_backfill()
+        if record is None:
+            return
+        plan = online.plan_from_payload(record.plan)
+        stale = record.generation != self.engine.catalog_generation or any(
+            uid not in self.engine.genealogy.smo_instances for uid in record.smos
+        )
+        if resume is None and not stale:
+            return
+        if stale or not resume:
+            self._begin()
+            try:
+                self._run(online.rollback_statements(plan))
+                self.store.clear_backfill()
+                self.connection.commit()
+            except BaseException:
+                self._abort()
+                raise
+            return
+        move = online.OnlineMove(
+            plan,
+            cursors={name: int(p) for name, p in record.cursors.items()},
+            chunks=record.chunks,
+        )
+        self._online_move = move
+        # apply_materialization drives attached backends; normally the
+        # engine registers us after attach() returns, but the resume needs
+        # the hookup now (attach_backend is idempotent).
+        self.engine.attach_backend(self)
+        while not self.online_chunk():
+            pass
+        schema = frozenset(
+            self.engine.genealogy.smo_instances[uid] for uid in record.smos
+        )
+        self.engine.apply_materialization(schema)
 
     def _delta_installed(self) -> bool:
         """Does the database hold a view for every active table version?
@@ -513,12 +608,15 @@ class LiveSqliteBackend:
     def on_materialize(self, schema: frozenset["SmoInstance"]) -> None:
         self._begin()
         try:
-            stage, swap = codegen.migration_statements(self.engine, schema)
-            self._run(stage)
-            self._fault("materialize:staged")
-            self.drop_generated()
-            self._run(swap)
-            self._fault("materialize:swapped")
+            if self._online_move is not None:
+                self._online_cutover(schema)
+            else:
+                stage, swap = codegen.migration_statements(self.engine, schema)
+                self._run(stage)
+                self._fault("materialize:staged")
+                self.drop_generated()
+                self._run(swap)
+                self._fault("materialize:swapped")
         except BaseException:
             self._abort()
             raise
@@ -530,12 +628,186 @@ class LiveSqliteBackend:
             if self.store is not None:
                 self.store.record_materialize(self.engine)
                 self.store.set_delta_meta(self.engine.catalog_generation, self.flatten)
+                if self._online_move is not None:
+                    # The journal, the cutover DDL, and the new catalog
+                    # commit together: a crash before this commit leaves
+                    # the backfill resumable, after it the move is done.
+                    self.store.clear_backfill()
             self._fault("materialize:before-commit")
             self.connection.commit()
         except BaseException:
             self._abort()
             raise
+        self._online_move = None
         self._verify_after_transition("materialize")
+
+    # ------------------------------------------------------------------
+    # Online MATERIALIZE (journaled backfill; see repro.backend.online)
+    # ------------------------------------------------------------------
+
+    def online_prepare(self, schema: frozenset["SmoInstance"], *, chunk_rows=None):
+        """Phase 1: install the change-capture machinery and the (empty)
+        staging tables, and journal the move — one transaction, called by
+        the engine under a brief write-lock window."""
+        from repro.backend import online
+        from repro.persist.store import BackfillRecord
+
+        if self._online_move is not None:
+            raise BackendError("an online materialization is already in flight")
+        plan = online.build_plan(self.engine, schema)
+        move = online.OnlineMove(
+            plan,
+            chunk_rows=int(chunk_rows) if chunk_rows else online.DEFAULT_CHUNK_ROWS,
+            cursors={table_move.stage: 0 for table_move in plan.trackable()},
+        )
+        self._begin()
+        try:
+            self._run(online.prepare_statements(plan))
+            if self.store is not None:
+                self.store.write_backfill(
+                    BackfillRecord(
+                        phase="backfill",
+                        generation=self.engine.catalog_generation,
+                        smos=list(plan.smos),
+                        plan=online.plan_payload(plan),
+                        cursors=dict(move.cursors),
+                        chunks=0,
+                    )
+                )
+            self._fault("materialize-online:prepared")
+            self.connection.commit()
+        except BaseException:
+            self._abort()
+            raise
+        self._online_move = move
+        return move
+
+    def online_chunk(self) -> bool:
+        """Phase 2, one step: copy the next keyset page of every trackable
+        table into its staging table, repair the rows live writes touched
+        since the last chunk, and advance the journal cursors — all in one
+        transaction, called under the *read* side of the catalog lock so
+        concurrent statements keep flowing.  Returns ``True`` once every
+        copy has drained (the cutover tail handles rows arriving later).
+        """
+        from repro.backend import online
+
+        move = self._online_move
+        if move is None:
+            raise BackendError("no online materialization is in flight")
+        plan = move.plan
+        last_error = None
+        for _ in range(5):
+            cursors = dict(move.cursors)
+            # The write gate serializes this chunk's transaction with the
+            # autocommit writes of live sessions: without it the loop
+            # re-takes the SQLite write lock back-to-back and every live
+            # writer — which waits by polling the busy handler — starves
+            # until the whole move finishes.
+            with self.write_gate:
+                self._begin()
+                try:
+                    copied = 0
+                    drained = True
+                    bound = int(
+                        self.connection.execute(
+                            online.dirty_bound_sql()
+                        ).fetchone()[0]
+                    )
+                    for table_move in plan.trackable():
+                        result = self.connection.execute(
+                            online.chunk_copy_sql(
+                                table_move,
+                                cursors[table_move.stage],
+                                move.chunk_rows,
+                            )
+                        )
+                        rows = max(result.rowcount, 0)
+                        copied += rows
+                        # A partial page means this table's copy reached
+                        # the current end of its keyset.  That — not zero
+                        # rows — is the termination test: under a steady
+                        # write load every chunk copies the handful of
+                        # freshly inserted rows, so waiting for an empty
+                        # page would never converge.  The cutover tail
+                        # picks up whatever arrives after the last
+                        # partial page.
+                        if rows >= move.chunk_rows:
+                            drained = False
+                        staged_max = self.connection.execute(
+                            online.staged_max_sql(table_move)
+                        ).fetchone()[0]
+                        if staged_max is not None:
+                            cursors[table_move.stage] = max(
+                                cursors[table_move.stage], int(staged_max)
+                            )
+                    if bound:
+                        self._run(online.repair_statements(plan, cursors, bound))
+                    move.chunks += 1
+                    move.rows += copied
+                    if self.store is not None:
+                        self.store.update_backfill(
+                            cursors=dict(cursors), chunks=move.chunks
+                        )
+                    self._fault("materialize-online:chunk")
+                    self.connection.commit()
+                except sqlite3.OperationalError as exc:
+                    # A live writer holds the database (or a shared-cache
+                    # table) lock: back off and retry the whole chunk —
+                    # nothing was committed, so the cursors stay where
+                    # the journal says.
+                    self._abort()
+                    last_error = exc
+                except BaseException:
+                    self._abort()
+                    raise
+                else:
+                    move.cursors = cursors
+                    return drained
+            time.sleep(0.01)
+        raise BackendError(
+            f"online backfill chunk could not get the write lock: {last_error}"
+        )
+
+    def online_progress(self) -> tuple[int, int]:
+        """(chunks committed, rows copied) of the in-flight move."""
+        move = self._online_move
+        return (move.chunks, move.rows) if move is not None else (0, 0)
+
+    def _online_cutover(self, schema: frozenset["SmoInstance"]) -> None:
+        """Phase 3 (inside ``on_materialize``'s transaction, under the
+        write lock): finalize the staged copies, verify them against the
+        live views, tear the capture machinery down, and reuse the offline
+        swap with the staged tables standing in for the one-shot copies."""
+        from repro.backend import online
+
+        move = self._online_move
+        plan = move.plan
+        # Rows past the last chunk cursor, then every row live writes
+        # touched — the write lock makes both final.
+        self._run(online.tail_copy_statements(plan, move.cursors))
+        bound = int(self.connection.execute(online.dirty_bound_sql()).fetchone()[0])
+        if bound:
+            self._run(online.repair_statements(plan, move.cursors, bound, final=True))
+        for table_move in plan.trackable():
+            staged_sql, live_sql = online.count_check_sql(table_move)
+            staged = self.connection.execute(staged_sql).fetchone()[0]
+            live = self.connection.execute(live_sql).fetchone()[0]
+            if staged != live:
+                raise BackendError(
+                    f"online backfill diverged for {table_move.view}: staged "
+                    f"{staged} rows but the live view serves {live}"
+                )
+        self._fault("materialize-online:pre-cutover")
+        self._run(online.capture_teardown_statements(plan))
+        stage, swap = codegen.migration_statements(
+            self.engine, schema, staged=plan.staged_map()
+        )
+        self._run(stage)
+        self._fault("materialize:staged")
+        self.drop_generated()
+        self._run(swap)
+        self._fault("materialize:swapped")
 
     def on_drop(self, version_name: str, removed: list["SmoInstance"]) -> None:
         from repro.backend.handlers import HandlerContext, handler_for

@@ -220,14 +220,18 @@ class Materialize:
     """``MATERIALIZE 'TasKy2';`` or ``MATERIALIZE 'TasKy2.task', ...;``.
 
     Each target is either a schema version name (materialize all its table
-    versions) or a ``version.table`` pair.
+    versions) or a ``version.table`` pair.  ``MATERIALIZE ONLINE ...`` runs
+    the move as a journaled, crash-resumable background backfill instead of
+    a single stop-the-world copy.
     """
 
     targets: tuple[str, ...]
+    online: bool = False
 
     def unparse(self) -> str:
         rendered = ", ".join(f"'{target}'" for target in self.targets)
-        return f"MATERIALIZE {rendered};"
+        keyword = "MATERIALIZE ONLINE" if self.online else "MATERIALIZE"
+        return f"{keyword} {rendered};"
 
 
 Statement = Union[CreateSchemaVersion, DropSchemaVersion, Materialize]

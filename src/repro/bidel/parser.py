@@ -168,13 +168,22 @@ class BidelParser:
 
     def _materialize(self) -> Materialize:
         self._expect_keyword("MATERIALIZE")
+        online = False
+        # ONLINE is only the modifier when a target still follows; a bare
+        # version actually named ONLINE keeps parsing as a target.
+        if self._peek().matches_keyword("ONLINE") and self._peek(1).kind in (
+            lexer.STRING,
+            lexer.IDENT,
+        ):
+            self._next()
+            online = True
         targets = [self._materialize_target()]
         while self._peek().kind == lexer.COMMA:
             self._next()
             targets.append(self._materialize_target())
         if self._peek().kind == lexer.SEMICOLON:
             self._next()
-        return Materialize(tuple(targets))
+        return Materialize(tuple(targets), online=online)
 
     def _materialize_target(self) -> str:
         token = self._next()

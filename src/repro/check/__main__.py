@@ -65,13 +65,23 @@ def run(argv: list[str] | None = None) -> int:
         from repro.check.delta import verify_delta_code
         from repro.check.diagnostics import record_findings
 
-        engine = repro.open(args.db, create=False)
+        # resume_backfill=None: static inspection must neither resume nor
+        # roll back an in-flight online-MATERIALIZE journal — it reports
+        # on the transitional state instead (RPC107).
+        engine = repro.open(args.db, create=False, resume_backfill=None)
         try:
             delta_findings = verify_delta_code(engine, flatten=True)
             delta_findings += [
                 d for d in verify_delta_code(engine, flatten=False)
                 if d not in delta_findings
             ]
+            backend = engine.live_backend
+            if backend is not None and hasattr(backend, "store"):
+                from repro.check.delta import verify_transitional_objects
+
+                delta_findings += verify_transitional_objects(
+                    backend.connection, backend.store
+                )
             record_findings(engine, delta_findings, scope="cli")
             findings += delta_findings
             print(f"delta code: {len(delta_findings)} finding(s) over "

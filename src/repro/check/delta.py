@@ -13,8 +13,11 @@ of it:
 - **RPC104** every active table version has INSTEAD OF triggers for all
   three DML operations;
 - **RPC105** identifiers that need quoting are never emitted bare;
-- **RPC106** the flattened and the nested emission bottom out on the
-  same physical base tables per view.
+- **RPC106** the flattened emission never reads a physical base table
+  the nested composition does not.  (The converse is legal: flattening
+  prunes joins whose columns a later SMO dropped, so the nested basis
+  may be a strict superset — the differential suite covers content
+  agreement.)
 
 ``view_statements`` / ``trigger_statements`` are injectable so the
 seeded-defect suite can verify *mutated* delta code; RPC106 (which needs
@@ -242,11 +245,17 @@ def _check_emission_agreement(engine) -> list[Diagnostic]:
     for name in sorted(set(flat) | set(nested)):
         flat_basis = flat.get(name, frozenset())
         nested_basis = nested.get(name, frozenset())
-        if flat_basis != nested_basis:
+        # Flattening may legally read FEWER base tables than the nested
+        # composition: a join contributing only columns a later SMO
+        # dropped is dead in the inlined query but still referenced by
+        # the intermediate views.  Reading a table the nested emission
+        # never touches, though, means the two programs answer from
+        # different data — that is the defect this check exists for.
+        if not flat_basis <= nested_basis:
             diagnostics.append(Diagnostic(
                 "RPC106", "error", name,
-                "flattened and nested emissions disagree on the physical "
-                f"base tables: flat reads {sorted(flat_basis)}, nested "
+                "flattened emission reads physical base tables the nested "
+                f"one does not: flat reads {sorted(flat_basis)}, nested "
                 f"reads {sorted(nested_basis)}",
             ))
     return diagnostics
@@ -300,6 +309,63 @@ def verify_delta_code(
         )
     if not injected:
         diagnostics += _check_emission_agreement(engine)
+    return diagnostics
+
+
+def verify_transitional_objects(connection, store) -> list[Diagnostic]:
+    """RPC107: bound the transitional online-MATERIALIZE objects.
+
+    During a journaled backfill the database legitimately carries
+    ``_repro_bf…`` staging tables, ``_repro_bf__cap__…`` capture
+    triggers, and the ``_repro_backfill_dirty`` table; the journal's plan
+    names every one of them.  Anything transitional *outside* that set —
+    or any transitional object present with no journal at all — is an
+    orphan from a torn move and is reported as an error.  A journal that
+    names a staging table the database does not hold is equally torn.
+    """
+    from repro.backend import online
+
+    record = store.read_backfill() if store is not None else None
+    expected: set[str] = set()
+    plan = None
+    if record is not None:
+        plan = online.plan_from_payload(record.plan)
+        expected = plan.transitional_names()
+
+    diagnostics: list[Diagnostic] = []
+    present: set[str] = set()
+    for name, kind in connection.execute(
+        "SELECT name, type FROM sqlite_master WHERE type IN ('table', 'trigger')"
+    ):
+        if not online.is_transitional(name):
+            continue
+        present.add(name)
+        if record is None:
+            diagnostics.append(Diagnostic(
+                "RPC107", "error", name,
+                f"transitional backfill {kind} exists but no backfill "
+                "journal is in flight (orphan of a torn move)",
+            ))
+        elif name not in expected:
+            diagnostics.append(Diagnostic(
+                "RPC107", "error", name,
+                f"transitional backfill {kind} is not named by the "
+                "in-flight journal's plan",
+            ))
+    if plan is not None:
+        for move in plan.trackable():
+            if move.stage not in present:
+                diagnostics.append(Diagnostic(
+                    "RPC107", "error", move.stage,
+                    "the in-flight journal names this staging table but "
+                    "the database does not hold it",
+                ))
+        if online.DIRTY_TABLE not in present:
+            diagnostics.append(Diagnostic(
+                "RPC107", "error", online.DIRTY_TABLE,
+                "a backfill journal is in flight but the change-capture "
+                "table is missing",
+            ))
     return diagnostics
 
 

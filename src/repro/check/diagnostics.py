@@ -35,8 +35,11 @@ DIAGNOSTIC_CATALOG: dict[str, str] = {
     "RPC104": "a non-materialized table version is missing an INSTEAD OF "
               "trigger for one of INSERT/UPDATE/DELETE",
     "RPC105": "an identifier that requires quoting is emitted unquoted",
-    "RPC106": "flattened and nested view emissions bottom out on different "
-              "physical base tables",
+    "RPC106": "the flattened view emission reads a physical base table "
+              "the nested composition never touches",
+    "RPC107": "transitional online-MATERIALIZE object (backfill staging "
+              "table, capture trigger, or dirty table) exists without a "
+              "journal entry that accounts for it",
     # -- BiDEL pre-flight (RPC2xx) --------------------------------------
     "RPC200": "the BiDEL script does not parse",
     "RPC201": "name collision: the schema version, table, or column "

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
+from contextlib import AbstractContextManager as ContextManager
 from contextlib import contextmanager
 
 from repro.bidel.ast import (
@@ -199,6 +200,37 @@ class InVerDa:
             "Time catalog transitions waited to acquire the writer lock.",
         )
         self.catalog_lock.write_wait_observer = rwlock_wait.observe
+        # Online MATERIALIZE observability: phase (0 idle, 1 prepare,
+        # 2 backfill, 3 cutover), per-move progress, and end-to-end move
+        # duration.  The guard flag refuses *other* catalog transitions
+        # while a backfill is in flight (they would invalidate the staged
+        # copies) instead of letting them queue behind the chunk loop.
+        self._online_materialize_active = False
+        # Optional context-manager factory entered around an online move's
+        # cutover (the brief write-lock window at the end of the backfill).
+        # Callers that serialize external state against the catalog — the
+        # soak harness orders its differential oplog with it — get a hook
+        # at the move's true serialization point: code inside the ``with``
+        # body runs after the cutover committed, while whatever mutual
+        # exclusion the context manager provides spans the switch itself.
+        self.online_cutover_hook: "Callable[[], ContextManager[None]] | None" = None
+        self._backfill_phase = self.metrics.gauge(
+            "repro_backfill_phase",
+            "Online MATERIALIZE phase (0=idle 1=prepare 2=backfill 3=cutover).",
+        )
+        self._backfill_phase.set(0)
+        self._backfill_chunks = self.metrics.gauge(
+            "repro_backfill_chunks",
+            "Chunks committed by the in-flight online MATERIALIZE.",
+        )
+        self._backfill_rows = self.metrics.gauge(
+            "repro_backfill_rows",
+            "Rows copied by the in-flight online MATERIALIZE.",
+        )
+        self._online_materialize_seconds = self.metrics.histogram(
+            "repro_materialize_online_seconds",
+            "End-to-end duration of online MATERIALIZE moves.",
+        )
 
     @contextmanager
     def _timed_transition(self, kind: str):
@@ -271,7 +303,7 @@ class InVerDa:
         elif isinstance(statement, DropSchemaVersion):
             self.drop_schema_version(statement.name)
         elif isinstance(statement, Materialize):
-            self.materialize(statement.targets)
+            self.materialize(statement.targets, online=statement.online)
         else:  # pragma: no cover - parser guarantees the union
             raise EvolutionError(f"unknown statement {statement!r}")
 
@@ -303,6 +335,7 @@ class InVerDa:
 
     def create_schema_version(self, statement: CreateSchemaVersion) -> SchemaVersion:
         with self.catalog_lock.write_locked(), self._timed_transition("evolve"):
+            self._ensure_no_online_move()
             self._quiesce_backends()
             version = self._create_schema_version(statement)
             # The generation moves BEFORE the backend hooks run, so a
@@ -416,6 +449,7 @@ class InVerDa:
 
     def drop_schema_version(self, name: str) -> None:
         with self.catalog_lock.write_locked(), self._timed_transition("drop"):
+            self._ensure_no_online_move()
             self._quiesce_backends()
             removed = self._drop_schema_version(name)
             self.catalog_generation += 1
@@ -799,12 +833,38 @@ class InVerDa:
     # Database Migration Operation (Section 7)
     # ------------------------------------------------------------------
 
-    def materialize(self, targets: Iterable[str]) -> None:
-        """``MATERIALIZE 'version'`` / ``MATERIALIZE 'version.table', ...``"""
-        with self.catalog_lock.write_locked():
-            self._materialize(targets)
+    def materialize(
+        self,
+        targets: Iterable[str],
+        *,
+        online: bool = False,
+        chunk_rows: int | None = None,
+    ) -> None:
+        """``MATERIALIZE 'version'`` / ``MATERIALIZE 'version.table', ...``
 
-    def _materialize(self, targets: Iterable[str]) -> None:
+        ``online=True`` (BiDEL ``MATERIALIZE ONLINE``) runs the move as a
+        journaled, crash-resumable backfill: statements keep flowing while
+        the new physical tables are copied in chunks under the read side
+        of the catalog lock, and only the prepare and cutover steps take
+        brief write-lock windows.  ``chunk_rows`` overrides the backfill
+        chunk size.  Falls back to the offline single-transaction move
+        when no attached backend implements the online pipeline (the pure
+        in-memory engine, where "offline" is a dict swap anyway).
+        """
+        if online:
+            backend = next(
+                (b for b in self._backends if hasattr(b, "online_prepare")), None
+            )
+            if backend is not None:
+                self._materialize_online(targets, backend, chunk_rows)
+                return
+        with self.catalog_lock.write_locked():
+            self._ensure_no_online_move()
+            self.apply_materialization(self._resolve_materialization(targets))
+
+    def _resolve_materialization(
+        self, targets: Iterable[str]
+    ) -> frozenset[SmoInstance]:
         table_versions: list[TableVersion] = []
         for target in targets:
             if "." in target:
@@ -814,8 +874,56 @@ class InVerDa:
             else:
                 version = self.genealogy.schema_version(target)
                 table_versions.extend(version.tables.values())
-        schema = materialization_for_versions(self.genealogy, table_versions)
-        self.apply_materialization(schema)
+        return materialization_for_versions(self.genealogy, table_versions)
+
+    def _ensure_no_online_move(self) -> None:
+        """Catalog transitions are refused (not queued) while an online
+        backfill is in flight: they would invalidate the staged copies,
+        and failing fast keeps the DDL caller from deadlocking behind a
+        move that may take minutes."""
+        if self._online_materialize_active:
+            raise CatalogError(
+                "an online MATERIALIZE backfill is in flight; retry the "
+                "catalog transition after it cuts over"
+            )
+
+    def _materialize_online(
+        self, targets: Iterable[str], backend, chunk_rows: int | None
+    ) -> None:
+        started = time.perf_counter()
+        with self.catalog_lock.write_locked():
+            self._ensure_no_online_move()
+            schema = self._resolve_materialization(targets)
+            validate_materialization(self.genealogy, schema)
+            self._backfill_phase.set(1)
+            self._quiesce_backends()
+            backend.online_prepare(schema, chunk_rows=chunk_rows)
+            self._online_materialize_active = True
+            self._backfill_phase.set(2)
+        try:
+            while True:
+                with self.catalog_lock.read_locked():
+                    done = backend.online_chunk()
+                chunks, rows = backend.online_progress()
+                self._backfill_chunks.set(chunks)
+                self._backfill_rows.set(rows)
+                if done:
+                    break
+            self._backfill_phase.set(3)
+            # The guard stays up through the cutover: apply_materialization
+            # re-enters the write lock itself and never checks the guard,
+            # while any other transition that slipped in between the chunk
+            # loop and here would still be refused.
+            hook = self.online_cutover_hook
+            if hook is not None:
+                with hook():
+                    self.apply_materialization(schema)
+            else:
+                self.apply_materialization(schema)
+        finally:
+            self._online_materialize_active = False
+            self._backfill_phase.set(0)
+        self._online_materialize_seconds.observe(time.perf_counter() - started)
 
     def apply_materialization(self, schema: frozenset[SmoInstance]) -> None:
         """Move the physical data representation to ``schema``.

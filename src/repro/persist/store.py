@@ -31,6 +31,15 @@ Tables
     referencing deduplicated schema snapshots keyed by their
     deterministic fingerprint: versions with identical table shapes share
     one serialized snapshot row.
+
+``_repro_catalog_backfill``
+    The online-MATERIALIZE journal: at most one row describing an
+    in-flight move (target SMO set, staged-table plan, per-table chunk
+    cursors, phase).  Written in the prepare transaction, advanced in the
+    same transaction as each backfill chunk, and deleted in the cutover
+    transaction — so after a crash the row is exactly as stale as the
+    physical staging tables, and :func:`repro.open` can resume the move
+    from the recorded cursor (or roll the prepare back).
 """
 
 from __future__ import annotations
@@ -59,6 +68,14 @@ META_TABLE = "_repro_catalog_meta"
 LOG_TABLE = "_repro_catalog_log"
 VERSIONS_TABLE = "_repro_catalog_versions"
 SCHEMAS_TABLE = "_repro_catalog_schemas"
+BACKFILL_TABLE = "_repro_catalog_backfill"
+
+_BACKFILL_DDL = (
+    f"CREATE TABLE IF NOT EXISTS {BACKFILL_TABLE} "
+    "(id INTEGER PRIMARY KEY CHECK (id = 1), phase TEXT NOT NULL, "
+    "generation INTEGER NOT NULL, smos TEXT NOT NULL, plan TEXT NOT NULL, "
+    "cursors TEXT NOT NULL, chunks INTEGER NOT NULL DEFAULT 0)"
+)
 
 _DDL = [
     f"CREATE TABLE IF NOT EXISTS {META_TABLE} "
@@ -71,6 +88,7 @@ _DDL = [
     "(position INTEGER PRIMARY KEY, name TEXT UNIQUE NOT NULL, parent TEXT, "
     "dropped INTEGER NOT NULL DEFAULT 0, "
     f"fingerprint TEXT NOT NULL REFERENCES {SCHEMAS_TABLE}(fingerprint))",
+    _BACKFILL_DDL,
 ]
 
 
@@ -81,6 +99,18 @@ class VersionRecord:
     parent: str | None
     dropped: bool
     fingerprint: str
+
+
+@dataclass
+class BackfillRecord:
+    """One in-flight online-MATERIALIZE move, as journaled on disk."""
+
+    phase: str
+    generation: int
+    smos: list[int]
+    plan: dict
+    cursors: dict[str, int]
+    chunks: int
 
 
 @dataclass
@@ -247,6 +277,84 @@ class CatalogStore:
             f"UPDATE {VERSIONS_TABLE} SET dropped = 1 WHERE name = ?", (name,)
         )
         self._refresh_meta(engine)
+
+    # ------------------------------------------------------------------
+    # The online-MATERIALIZE backfill journal
+    # ------------------------------------------------------------------
+
+    def _ensure_backfill_table(self) -> None:
+        """Databases persisted before the journal existed lack the table;
+        create it on demand (DDL joins the caller's transaction)."""
+        self.connection.execute(_BACKFILL_DDL)
+
+    def write_backfill(self, record: BackfillRecord) -> None:
+        """Journal a new in-flight move (the prepare transaction)."""
+        self._ensure_backfill_table()
+        self.connection.execute(
+            f"INSERT OR REPLACE INTO {BACKFILL_TABLE} "
+            "(id, phase, generation, smos, plan, cursors, chunks) "
+            "VALUES (1, ?, ?, ?, ?, ?, ?)",
+            (
+                record.phase,
+                record.generation,
+                json.dumps(record.smos),
+                json.dumps(record.plan),
+                json.dumps(record.cursors),
+                record.chunks,
+            ),
+        )
+
+    def update_backfill(
+        self, *, phase: str | None = None, cursors: dict[str, int] | None = None,
+        chunks: int | None = None,
+    ) -> None:
+        """Advance the journaled move; joins the caller's chunk transaction
+        so cursor and copied rows commit (or vanish) together."""
+        sets, params = [], []
+        if phase is not None:
+            sets.append("phase = ?")
+            params.append(phase)
+        if cursors is not None:
+            sets.append("cursors = ?")
+            params.append(json.dumps(cursors))
+        if chunks is not None:
+            sets.append("chunks = ?")
+            params.append(chunks)
+        if not sets:
+            return
+        self.connection.execute(
+            f"UPDATE {BACKFILL_TABLE} SET {', '.join(sets)} WHERE id = 1", params
+        )
+
+    def read_backfill(self) -> BackfillRecord | None:
+        """The journaled in-flight move, or ``None`` when none is pending
+        (including on databases that predate the journal table)."""
+        row = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?",
+            (BACKFILL_TABLE,),
+        ).fetchone()
+        if row is None:
+            return None
+        row = self.connection.execute(
+            f"SELECT phase, generation, smos, plan, cursors, chunks "
+            f"FROM {BACKFILL_TABLE} WHERE id = 1"
+        ).fetchone()
+        if row is None:
+            return None
+        phase, generation, smos, plan, cursors, chunks = row
+        return BackfillRecord(
+            phase=phase,
+            generation=generation,
+            smos=json.loads(smos),
+            plan=json.loads(plan),
+            cursors=json.loads(cursors),
+            chunks=chunks,
+        )
+
+    def clear_backfill(self) -> None:
+        """Drop the journal row (the cutover or rollback transaction)."""
+        self._ensure_backfill_table()
+        self.connection.execute(f"DELETE FROM {BACKFILL_TABLE}")
 
     def save_snapshot(self, engine: "InVerDa") -> None:
         """(Re)write the whole catalog from the engine's current state —

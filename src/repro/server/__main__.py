@@ -29,7 +29,9 @@ from ``state.db`` and serves them again.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 import time
 
 from repro.backend.sqlite import LiveSqliteBackend
@@ -94,6 +96,13 @@ def main(argv=None) -> int:
         help="log statements slower than this many milliseconds to the "
         "slow-query ring buffer",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a graceful shutdown (SIGTERM/SIGINT) waits for "
+        "in-flight requests before cutting the remaining clients off",
+    )
     args = parser.parse_args(argv)
     from repro.persist.recovery import database_has_catalog, open_database
 
@@ -155,17 +164,34 @@ def main(argv=None) -> int:
             f"fingerprint {engine.catalog_fingerprint()[:12]}",
             flush=True,
         )
+    # Graceful drain: SIGTERM (and SIGINT / Ctrl-C) stops accepting,
+    # finishes in-flight requests within --drain-timeout, returns every
+    # leased session to the pool, and exits 0 — so process managers can
+    # roll the server without killing client requests mid-reply.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     try:
-        while True:
-            time.sleep(3600)
+        while not stop.wait(timeout=1.0):
+            pass
+        print("draining: no new connections, finishing in-flight requests",
+              flush=True)
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        pass  # SIGINT before the handler was installed: same drain path
     finally:
-        server.close()
+        server.drain(timeout=args.drain_timeout)
         if metrics_http is not None:
             metrics_http.close()
         if backend is not None:
             backend.close()
+        print("shutdown complete", flush=True)
     return 0
 
 

@@ -498,6 +498,7 @@ def connect_remote(
     backend: str | None = None,
     page_size: int = protocol.DEFAULT_PAGE_SIZE,
     timeout: float | None = None,
+    request_timeout: float | None = None,
     trace: bool = False,
     slow_ms: float | None = None,
 ) -> RemoteConnection:
@@ -511,6 +512,15 @@ def connect_remote(
     TCP connect *and* every later request round trip (``None`` = wait
     forever).
 
+    ``request_timeout`` sets the per-request deadline separately from the
+    connect timeout: a server that accepts the connection but then hangs
+    (or stalls mid-reply) fails the in-flight call with a clean
+    :class:`~repro.errors.OperationalError` after this many seconds
+    instead of blocking ``execute()`` forever.  The connection is
+    unusable afterwards — a late reply arriving after the deadline would
+    desynchronize every later exchange, so the driver drops the stream
+    rather than guess.  ``None`` falls back to ``timeout``.
+
     ``trace=True`` records a client-side span trace for every statement
     (readable from ``cursor.trace``): the trace context rides along in
     each request frame, the server continues it engine-side, and the
@@ -523,7 +533,7 @@ def connect_remote(
     except OSError as exc:
         raise OperationalError(f"cannot reach repro server at {host}:{port}: {exc}") from exc
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    sock.settimeout(timeout)
+    sock.settimeout(request_timeout if request_timeout is not None else timeout)
     return RemoteConnection(
         sock,
         version=version,

@@ -62,6 +62,9 @@ class _ClientHandler:
         self.version_dropped = False
         self._statements: dict[int, Any] = {}  # stmt_id -> open cursor
         self._stmt_counter = 0
+        #: True while a request is being processed — the graceful drain
+        #: waits on this before disconnecting the client.
+        self.busy = False
         # Wire-encoding memo for cursor descriptions: cached plans hand
         # back the SAME description tuple for a repeated statement, so its
         # JSON encoding is computed once per plan instead of per execute.
@@ -99,8 +102,12 @@ class _ClientHandler:
                     break  # socket torn down under the reader
                 if request is None:
                     break  # clean disconnect
-                if not self._handle(request):
-                    break
+                self.busy = True
+                try:
+                    if not self._handle(request):
+                        break
+                finally:
+                    self.busy = False
         finally:
             self._teardown()
 
@@ -528,6 +535,31 @@ class ReproServer:
             handler.thread.join(timeout=5.0)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+
+    def drain(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting new connections immediately,
+        give every in-flight request up to ``timeout`` seconds to finish,
+        then disconnect the remaining clients exactly like :meth:`close`
+        (server-side connections roll back any open transaction and
+        return their leased sessions to the pool).
+
+        A request still running at the deadline is cut off mid-flight —
+        the deadline exists precisely so a wedged statement cannot hold
+        the shutdown hostage."""
+        if self._listener is not None:
+            # New connects are refused from here on; connected clients
+            # get their in-flight replies before the sockets drop.
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            while handler.busy and time.monotonic() < deadline:
+                time.sleep(0.01)
+        self.close()
 
     def __enter__(self) -> "ReproServer":
         if self._listener is None:

@@ -25,10 +25,12 @@ Lock ordering is ``stream lock -> engine catalog lock``, everywhere:
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.backend.compare import assert_states_match, visible_state
@@ -393,29 +395,66 @@ class _SmoThread(threading.Thread):
                 event["diagnostics"] = [str(d) for d in diagnostics]
                 self.h.smo_log.append(event)
                 return
-            try:
-                self.h.live.execute(script)
-            except InjectedFault as fault:
-                event["outcome"] = "fault"
-                event["fault"] = {"point": fault.point, "visit": fault.visit}
-                self.h.smo_log.append(event)
-                self.h.fault = {
-                    "point": fault.point,
-                    "visit": fault.visit,
-                    "script": script.strip(),
-                    "smo_seq": event["seq"],
-                }
-                self.h.stop_event.set()
+            if kind != "materialize-online":
+                if not self._execute(event, script):
+                    return
+                self.h.oplog.append(LogEntry("ddl", None, script, ()))
+                self.h.ddl_windows.append((requested, time.monotonic()))
                 return
-            except Exception as exc:  # noqa: BLE001 - recorded, run continues
-                event["outcome"] = "engine_rejected"
-                event["error"] = f"{type(exc).__name__}: {exc}"
-                self.h.smo_log.append(event)
-                return
-            event["outcome"] = "executed"
-            self.h.smo_log.append(event)
-            self.h.oplog.append(LogEntry("ddl", None, script, ()))
+        # An online move deliberately runs OUTSIDE the stream write lock:
+        # the whole point is that client traffic keeps flowing through
+        # the backfill, and the availability probe measures exactly that
+        # window.  Ordering is handled by the engine's cutover hook
+        # (``_online_cutover_barrier``): the oplog DDL entry is appended
+        # inside the cutover's quiesced window, because MATERIALIZE
+        # freezes derived-column state and so its position relative to
+        # concurrent client writes is semantically significant.  No
+        # other DDL can start meanwhile (this thread is the only DDL
+        # source, and the engine fences catalog transitions during a
+        # backfill anyway).
+        self.h._online_script = script
+        started = time.monotonic()
+        try:
+            ok = self._execute(event, script)
+        finally:
+            self.h.backfill_windows.append((started, time.monotonic()))
+        if not ok:
+            self.h._online_script = None
+            return
+        if self.h._online_script is not None:
+            # The engine fell back to an offline move (no online-capable
+            # backend): the cutover hook never ran, so log the entry here
+            # under the stream write lock, as for any other DDL.
+            with self.h.stream_lock.write_locked():
+                self.h.oplog.append(LogEntry("ddl", None, script, ()))
+            self.h._online_script = None
         self.h.ddl_windows.append((requested, time.monotonic()))
+
+    def _execute(self, event: dict, script: str) -> bool:
+        """Run one stream script, classifying the outcome into ``event``;
+        returns True iff it executed (and so belongs in the oplog)."""
+        try:
+            self.h.live.execute(script)
+        except InjectedFault as fault:
+            event["outcome"] = "fault"
+            event["fault"] = {"point": fault.point, "visit": fault.visit}
+            self.h.smo_log.append(event)
+            self.h.fault = {
+                "point": fault.point,
+                "visit": fault.visit,
+                "script": script.strip(),
+                "smo_seq": event["seq"],
+            }
+            self.h.stop_event.set()
+            return False
+        except Exception as exc:  # noqa: BLE001 - recorded, run continues
+            event["outcome"] = "engine_rejected"
+            event["error"] = f"{type(exc).__name__}: {exc}"
+            self.h.smo_log.append(event)
+            return False
+        event["outcome"] = "executed"
+        self.h.smo_log.append(event)
+        return True
 
 
 class _GenerationSampler(threading.Thread):
@@ -442,9 +481,11 @@ class SoakHarness:
         self.smo_log: list[dict] = []
         self.ddl_windows: list[tuple[float, float]] = []
         self.barrier_windows: list[tuple[float, float]] = []
+        self.backfill_windows: list[tuple[float, float]] = []
         self.crashes: list[tuple[int, str]] = []
         self.fault: dict | None = None
         self.diverged = False
+        self._online_script: str | None = None
         self.probes: list[Probe] = make_probes(config.probes)
         self._probe_lock = threading.Lock()
         self._replayed = 0
@@ -484,6 +525,28 @@ class SoakHarness:
     def log_sql(self, version: str, sql: str, params: tuple) -> None:
         self.oplog.append(LogEntry("sql", version, sql, params))
 
+    @contextmanager
+    def _online_cutover_barrier(self):
+        """Entered by the live engine around an online move's cutover.
+
+        MATERIALIZE is *not* oplog-order-neutral: it freezes derived
+        ``ADD COLUMN`` payloads into stored aux state, so an op that
+        executes after the cutover but lands in the oplog before the
+        move's DDL entry replays against pre-freeze semantics and
+        diverges.  Taking the stream write lock here quiesces clients
+        (each op holds the read side through execute *and* log append),
+        so the cutover and its oplog entry sit at the move's true
+        serialization point.  The backfill itself still runs outside
+        any stream lock — this window is the same brief write-lock
+        cutover every live client experiences.
+        """
+        with self.stream_lock.write_locked():
+            yield
+            script = self._online_script
+            if script is not None:
+                self.oplog.append(LogEntry("ddl", None, script, ()))
+                self._online_script = None
+
     def record_crash(self, index: int, text: str) -> None:
         self.crashes.append((index, text))
 
@@ -522,22 +585,43 @@ class SoakHarness:
         with self.stream_lock.write_locked():
             index = self._barrier_index
             self._barrier_index += 1
-            ok, detail = True, ""
+            ok, detail, full_detail = True, "", ""
             try:
                 self._replay()
                 mem_state = visible_state(self.mem)
                 live_state = visible_state(self.live, self.backend)
                 assert_states_match(self.mem, mem_state, self.live, live_state)
             except AssertionError as exc:
-                ok, detail = False, str(exc)[:4000]
+                full_detail = str(exc)
+                ok, detail = False, full_detail[:4000]
             except Exception as exc:  # noqa: BLE001 - a broken replay is a divergence
                 ok, detail = False, f"{type(exc).__name__}: {exc}"
+                full_detail = detail
             self._dispatch("on_barrier", index, ok, detail)
             if not ok:
                 self.diverged = True
                 self.stop_event.set()
+                self._dump_oplog(index, full_detail)
         self.barrier_windows.append((started, time.monotonic()))
         return ok
+
+    def _dump_oplog(self, barrier_index: int, detail: str) -> None:
+        """On divergence, dump the full operation log (the oracle's exact
+        input) when ``REPRO_SOAK_OPLOG_DUMP`` names a file — the one
+        artifact a differential failure cannot be debugged without."""
+        path = os.environ.get("REPRO_SOAK_OPLOG_DUMP")
+        if not path:
+            return
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(f"# barrier #{barrier_index} diverged\n# {detail}\n")
+                for i, entry in enumerate(self.oplog):
+                    fh.write(
+                        f"{i}\t{entry.kind}\t{entry.version}\t"
+                        f"{entry.sql!r}\t{entry.params!r}\n"
+                    )
+        except OSError:
+            pass
 
     # -- run -----------------------------------------------------------------
 
@@ -560,6 +644,7 @@ class SoakHarness:
         self.mem = build_orders(**build).engine
         self.live = build_orders(**build).engine
         self.backend = LiveSqliteBackend.attach(self.live, database=database)
+        self.live.online_cutover_hook = self._online_cutover_barrier
         if cfg.fault_rates:
             self.injector = RandomFaultInjector(cfg.fault_rates, seed=cfg.seed)
             self.backend.fault_injector = self.injector
@@ -656,6 +741,7 @@ class SoakHarness:
             disk_generation=self.backend.on_disk_generation(),
             ddl_windows=list(self.ddl_windows),
             barrier_windows=list(self.barrier_windows),
+            backfill_windows=list(self.backfill_windows),
             p95_budget_ms=self.config.p95_budget_ms,
             delta_findings=verify_delta_code(self.live, flatten=self.backend.flatten),
         )
@@ -697,6 +783,10 @@ class SoakHarness:
                 "smo_executed": len(executed),
                 "barriers": self._barrier_index,
                 "ddl_windows": len(self.ddl_windows),
+                "backfill_windows": len(self.backfill_windows),
+                "backfill_seconds": round(
+                    sum(end - start for start, end in self.backfill_windows), 3
+                ),
                 "final_versions": self.live.version_names(),
                 "final_generation": self.live.catalog_generation,
             },

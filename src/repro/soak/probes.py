@@ -107,6 +107,7 @@ class FinalState:
     barrier_windows: list[tuple[float, float]]
     p95_budget_ms: float
     delta_findings: list = field(default_factory=list)
+    backfill_windows: list[tuple[float, float]] = field(default_factory=list)
 
 
 @register
@@ -305,6 +306,68 @@ class BoundedLatencyProbe(Probe):
                 "ops_during_ddl": len(during_ddl),
                 "p95_ms": round(percentile(clear, 0.95), 3),
                 "ddl_p95_ms": round(ddl_p95, 3),
+                "budget_ms": final.p95_budget_ms,
+            },
+        )
+
+
+@register
+class AvailabilityProbe(Probe):
+    """Serving must keep flowing *through* an online-MATERIALIZE backfill.
+
+    The harness runs ``MATERIALIZE ONLINE`` outside the stream write
+    lock and records each move's (start, end) window.  Inside those
+    windows client operations must keep completing — none erroring (an
+    unexpected statement error crashes the harness outright) — with
+    bounded p95.  Operations overlapping a *barrier* window are
+    excluded: the differential pause is harness overhead, not system
+    behavior.
+    """
+
+    name = "availability"
+    description = "ops keep completing, bounded, during online backfills"
+
+    #: A backfill window shorter than this can legitimately contain no
+    #: completed op — tiny tables move in one chunk.
+    MIN_SPAN_SECONDS = 0.5
+
+    def __init__(self) -> None:
+        self.ops: list[tuple[float, float]] = []
+
+    def on_op(self, start: float, end: float, kind: str) -> None:
+        self.ops.append((start, end))
+
+    def finalize(self, final: FinalState) -> ProbeReport:
+        during = []
+        for start, end in self.ops:
+            if _overlaps(start, end, final.barrier_windows):
+                continue
+            if _overlaps(start, end, final.backfill_windows):
+                during.append((end - start) * 1000.0)
+        span = sum(end - start for start, end in final.backfill_windows)
+        violations = []
+        if span > self.MIN_SPAN_SECONDS and not during:
+            violations.append(
+                f"no client op completed inside "
+                f"{len(final.backfill_windows)} backfill window(s) spanning "
+                f"{span:.2f}s — serving stalled during the online move"
+            )
+        backfill_p95 = percentile(during, 0.95)
+        if backfill_p95 > final.p95_budget_ms:
+            violations.append(
+                f"p95 during online backfills is {backfill_p95:.1f} ms, over "
+                f"the {final.p95_budget_ms:.0f} ms budget "
+                f"({len(during)} ops in {len(final.backfill_windows)} windows)"
+            )
+        return ProbeReport(
+            self.name,
+            ok=not violations,
+            violations=violations,
+            details={
+                "backfill_windows": len(final.backfill_windows),
+                "backfill_seconds": round(span, 3),
+                "ops_during_backfill": len(during),
+                "backfill_p95_ms": round(backfill_p95, 3),
                 "budget_ms": final.p95_budget_ms,
             },
         )

@@ -83,7 +83,14 @@ class SmoStream:
         if kind == "drop":
             return kind, f"DROP SCHEMA VERSION {self.rng.choice(droppable)};\n"
         if kind == "materialize":
-            return kind, f"MATERIALIZE '{self.rng.choice(actives)}';\n"
+            target = self.rng.choice(actives)
+            # Half the moves run online: chunked journaled backfill with
+            # clients live — the harness executes these outside the
+            # stream write lock so the availability probe sees traffic
+            # flowing *during* the move.
+            if self.rng.random() < 0.5:
+                return "materialize-online", f"MATERIALIZE ONLINE '{target}';\n"
+            return kind, f"MATERIALIZE '{target}';\n"
         return self._evolution(actives)
 
     def _evolution(self, actives: list[str]) -> tuple[str, str] | None:

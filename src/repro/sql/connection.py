@@ -975,21 +975,57 @@ class Connection(BaseConnection):
             # bounds the statement's effects.  Conflicts with other
             # sessions surface as SQLite lock errors, not silent joins.
             session = self._session
-            # The savepoint name is generated here (stmt_<counter>), never
-            # user input, so no identifier quoting applies.
-            savepoint = f"stmt_{next(_scope_counter)}"
-            with _translated_errors():
-                session.execute(f"SAVEPOINT {savepoint}")  # repro-lint: allow(RPC301)
+            # An autocommit write takes the backend's write lock up
+            # front: routed writes read the view before the trigger
+            # writes, and that deferred upgrade loses a WAL snapshot
+            # race against any concurrent writer (e.g. an online
+            # backfill chunk) as an immediate, untimed-out lock error.
+            # It queues for the backend write *gate* first — waiters on
+            # a Python lock are woken the moment the holder releases,
+            # where SQLite's busy handler would poll and starve behind a
+            # back-to-back backfill chunk loop.
+            own_txn = False
+            gate = None
+            if self.autocommit and not session.in_transaction:
+                gate = getattr(session.backend, "write_gate", None)
+                if gate is not None:
+                    gate.acquire()
+                try:
+                    with _translated_errors():
+                        session.begin_immediate()
+                    own_txn = True
+                except BaseException:
+                    if gate is not None:
+                        gate.release()
+                    raise
             try:
-                yield
-            except BaseException:
-                if not session.closed:
-                    session.execute(f"ROLLBACK TO {savepoint}")  # repro-lint: allow(RPC301)
-                    session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
-                raise
-            else:
-                with _translated_errors():
-                    session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
+                # The savepoint name is generated here (stmt_<counter>),
+                # never user input, so no identifier quoting applies.
+                savepoint = f"stmt_{next(_scope_counter)}"
+                try:
+                    with _translated_errors():
+                        session.execute(f"SAVEPOINT {savepoint}")  # repro-lint: allow(RPC301)
+                except BaseException:
+                    if own_txn and not session.closed:
+                        session.rollback()
+                    raise
+                try:
+                    yield
+                except BaseException:
+                    if not session.closed:
+                        session.execute(f"ROLLBACK TO {savepoint}")  # repro-lint: allow(RPC301)
+                        session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
+                        if own_txn:
+                            session.rollback()
+                    raise
+                else:
+                    with _translated_errors():
+                        session.execute(f"RELEASE {savepoint}")  # repro-lint: allow(RPC301)
+                        if own_txn:
+                            session.commit()
+            finally:
+                if gate is not None and own_txn:
+                    gate.release()
             return
         engine = self.engine
         if engine._undo_log is None:

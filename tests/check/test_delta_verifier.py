@@ -44,6 +44,29 @@ class TestCleanOutput:
             findings = verify_delta_code(scenario.engine, flatten=flatten)
             assert findings == [], [d.render() for d in findings]
 
+    def test_clean_when_flattening_prunes_a_dead_join(self):
+        """A DROP COLUMN downstream of a SPLIT leaves the flattened
+        emission reading *fewer* base tables than the nested composition:
+        the join that only contributed the dropped column is dead in the
+        inlined query but still referenced through the intermediate
+        views.  That is legal pruning, not a defect (regression for a
+        soak-found false positive; both emissions are differentially
+        identical for this catalog)."""
+        from repro.workloads.orders import build_orders
+
+        engine = build_orders(1, 1, 1, versions=3).engine
+        for script in [
+            "CREATE SCHEMA VERSION s2 FROM v1 WITH "
+            "RENAME COLUMN qty IN Orders TO c1;",
+            "CREATE SCHEMA VERSION s10 FROM v3 WITH "
+            "RENAME COLUMN status IN Closed TO c9;",
+            "CREATE SCHEMA VERSION s11 FROM s10 WITH "
+            "DROP COLUMN total FROM Open DEFAULT 0;",
+        ]:
+            engine.execute(script)
+        findings = verify_delta_code(engine)
+        assert findings == [], [d.render() for d in findings]
+
 
 class TestSeededDefects:
     """Mutate known-good delta code; each defect class must be flagged
@@ -95,6 +118,29 @@ class TestSeededDefects:
             engine, view_statements=views, trigger_statements=triggers
         )
         assert "RPC103" in {d.code for d in findings}
+
+    def test_flat_reading_extra_base_table_rpc106(self, engine, monkeypatch):
+        """Pruning is legal; the converse — the flattened program
+        answering from a table the nested composition never reads —
+        is the defect RPC106 exists for."""
+        from repro.check import delta
+
+        real = codegen.view_statements
+
+        def spiked(eng, *, flatten=True):
+            statements = list(real(eng, flatten=flatten))
+            if flatten:
+                statements.append(
+                    "CREATE VIEW spiked AS SELECT a FROM phantom_table"
+                )
+            else:
+                statements.append("CREATE VIEW spiked AS SELECT 1 AS a")
+            return statements
+
+        monkeypatch.setattr(codegen, "view_statements", spiked)
+        findings = delta._check_emission_agreement(engine)
+        assert [d.code for d in findings] == ["RPC106"]
+        assert "phantom_table" in findings[0].message
 
     def test_unknown_qualifier_rpc102(self, engine):
         """The corruption class the old trigger renderer could produce

@@ -1,0 +1,426 @@
+"""Online ``MATERIALIZE``: journaled backfill, crash-resume, change capture.
+
+A seeded crash at every fault point in the online pipeline — prepare,
+each chunk boundary, the pre-cutover verification, and the offline
+cutover points the online path reuses — must converge through
+``repro.open()`` to a state differentially identical to an engine that
+never crashed.  The in-memory oracle side of :class:`DualSystem` has no
+live backend, so ``MATERIALIZE ONLINE`` falls back to the offline path
+there; the visible contents of every schema version are materialization-
+independent, which is exactly what ``ds.check()`` asserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.backend import online
+from repro.backend.sqlite import LiveSqliteBackend
+from repro.bidel.ast import Materialize
+from repro.bidel.parser import parse_script
+from repro.check.delta import verify_transitional_objects
+from repro.errors import CatalogError
+from repro.testing import DualSystem, InjectedFault, one_shot
+
+ONLINE_FAULT_POINTS = [
+    # Raised before the prepare transaction commits: the journal never
+    # lands, so recovery sees nothing and the move simply never happened.
+    "materialize-online:prepared",
+    # Raised before a chunk's transaction commits: the journal carries
+    # the previous chunk's cursor and recovery resumes from there.
+    "materialize-online:chunk",
+    # Raised after tail copy + final repair, inside the cutover
+    # transaction: everything rolls back to the last committed chunk.
+    "materialize-online:pre-cutover",
+    # The offline cutover fault points, reused by the online swap.
+    "materialize:staged",
+    "materialize:swapped",
+    "materialize:before-commit",
+]
+
+
+class OnlineDual(DualSystem):
+    """DualSystem whose SQLite side pins a flatten mode across reopens."""
+
+    def __init__(self, database: str, *, flatten: bool = True):
+        super().__init__(database)
+        self.flatten = flatten
+
+    def attach(self) -> None:
+        if self.backend is None:
+            self.backend = LiveSqliteBackend.attach(
+                self.sq, database=self.database, flatten=self.flatten
+            )
+
+    def reopen(self, **open_options) -> None:
+        for conn in self._sq_conns.values():
+            conn.close()
+        self._sq_conns.clear()
+        if self.backend is not None:
+            self.backend.close()
+        self.sq = repro.open(self.database, flatten=self.flatten, **open_options)
+        self.backend = self.sq.live_backend
+
+
+def build(tmp_path, *, flatten: bool = True) -> OnlineDual:
+    ds = OnlineDual(str(tmp_path / "online.db"), flatten=flatten)
+    ds.execute_ddl(
+        "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b INTEGER);"
+    )
+    ds.attach()
+    ds.runmany(
+        "v1", "INSERT INTO R(a, b) VALUES (?, ?)", [(i, i * 2) for i in range(40)]
+    )
+    ds.execute_ddl(
+        "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c AS a + b INTO R;"
+    )
+    ds.check("built")
+    return ds
+
+
+def transitional_leftovers(backend) -> list[str]:
+    rows = backend.connection.execute(
+        "SELECT name FROM sqlite_master WHERE type IN ('table', 'trigger')"
+    ).fetchall()
+    return sorted(name for (name,) in rows if online.is_transitional(name))
+
+
+def assert_clean(ds: OnlineDual, context: str) -> None:
+    assert ds.backend.store.read_backfill() is None, (
+        f"[{context}] backfill journal not cleared"
+    )
+    leftovers = transitional_leftovers(ds.backend)
+    assert leftovers == [], f"[{context}] transitional leftovers: {leftovers}"
+
+
+@pytest.mark.parametrize("flatten", [True, False], ids=["flat", "nested"])
+class TestOnlineMove:
+    def test_matches_offline_semantics(self, tmp_path, flatten):
+        ds = build(tmp_path, flatten=flatten)
+        try:
+            ds.execute_ddl("MATERIALIZE ONLINE 'v2';")
+            ds.check("moved")
+            assert_clean(ds, "moved")
+            # Writes on either version still propagate after the cutover.
+            ds.run("v1", "INSERT INTO R(a, b) VALUES (?, ?)", (100, 200))
+            ds.run("v2", "DELETE FROM R WHERE a = ?", (0,))
+            ds.check("written-after-move")
+        finally:
+            ds.close()
+
+    @pytest.mark.parametrize("point", ONLINE_FAULT_POINTS)
+    def test_crash_resumes_through_open(self, tmp_path, flatten, point):
+        ds = build(tmp_path, flatten=flatten)
+        try:
+            ds.backend.fault_injector = one_shot(point)
+            with pytest.raises(InjectedFault):
+                ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            # Reopen: recovery either resumes the journaled move to
+            # completion or (no journal committed yet) finds nothing.
+            # Both converge to a clean, fully serving catalog.
+            ds.reopen()
+            assert_clean(ds, f"recovered-after-{point}")
+            ds.check(f"recovered-after-{point}")
+            ds.run("v1", "INSERT INTO R(a, b) VALUES (?, ?)", (500, 501))
+            ds.run("v2", "DELETE FROM R WHERE a = ?", (1,))
+            ds.check(f"written-after-{point}")
+        finally:
+            ds.close()
+
+
+def crash_mid_backfill(ds: OnlineDual) -> None:
+    """Drive the SQLite side into a torn move with a committed journal."""
+    ds.backend.fault_injector = one_shot("materialize-online:pre-cutover")
+    with pytest.raises(InjectedFault):
+        ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+
+
+class TestResumePolicy:
+    def test_resume_false_rolls_back(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            before = {
+                smo.uid
+                for smo in ds.sq.genealogy.evolution_smos()
+                if smo.materialized
+            }
+            crash_mid_backfill(ds)
+            ds.reopen(resume_backfill=False)
+            assert_clean(ds, "rolled-back")
+            after = {
+                smo.uid
+                for smo in ds.sq.genealogy.evolution_smos()
+                if smo.materialized
+            }
+            assert after == before, "rollback must not change the materialization"
+            ds.check("rolled-back")
+            # The move can be retried from scratch and now completes.
+            ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            ds.mem.execute("MATERIALIZE 'v2';")
+            ds.check("retried")
+            assert_clean(ds, "retried")
+        finally:
+            ds.close()
+
+    def test_resume_none_leaves_move_untouched(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            crash_mid_backfill(ds)
+            # Static inspection: the journal and every transitional
+            # object survive the open untouched...
+            ds.reopen(resume_backfill=None)
+            record = ds.backend.store.read_backfill()
+            assert record is not None and record.phase == "backfill"
+            assert transitional_leftovers(ds.backend) != []
+            # ...and RPC107 accepts exactly the objects the plan names.
+            findings = verify_transitional_objects(
+                ds.backend.connection, ds.backend.store
+            )
+            assert findings == [], [f.message for f in findings]
+            # A later default open resumes the journaled move to the end.
+            ds.reopen()
+            assert_clean(ds, "resumed")
+            assert any(
+                smo.materialized for smo in ds.sq.genealogy.evolution_smos()
+            ), "resumed move did not cut over to v2"
+            ds.check("resumed")
+        finally:
+            ds.close()
+
+    def test_stale_journal_is_rolled_back(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            crash_mid_backfill(ds)
+            # Open without touching the move, then evolve: the catalog
+            # generation advances past the journal's, making it stale.
+            ds.reopen(resume_backfill=None)
+            ds.execute_ddl(
+                "CREATE SCHEMA VERSION v3 FROM v2 WITH RENAME COLUMN c IN R TO d;"
+            )
+            ds.reopen()
+            assert_clean(ds, "stale-rolled-back")
+            ds.check("stale-rolled-back")
+        finally:
+            ds.close()
+
+
+class TestChangeCapture:
+    def test_live_writes_between_chunks_are_captured(self, tmp_path):
+        """White-box: drive the chunk loop by hand, interleaving writes.
+
+        Every write landing between two chunk commits must be repaired
+        into the staging tables before the cutover swaps them in.
+        """
+        database = str(tmp_path / "capture.db")
+        engine = repro.InVerDa()
+        engine.execute(
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER, b INTEGER);"
+        )
+        backend = LiveSqliteBackend.attach(engine, database=database)
+        try:
+            conn = repro.connect(engine, "v1", autocommit=True, backend=backend)
+            conn.executemany(
+                "INSERT INTO R(a, b) VALUES (?, ?)", [(i, i) for i in range(400)]
+            )
+            engine.execute(
+                "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN c AS a + b INTO R;"
+            )
+            schema = engine._resolve_materialization(["v2"])
+            backend.online_prepare(schema, chunk_rows=60)
+            round_no = 0
+            while True:
+                done = backend.online_chunk()
+                # Dirty the already-copied prefix *and* the tail, both of
+                # which the per-chunk repair and cutover must reconcile.
+                conn.execute(
+                    "UPDATE R SET b = b + 1000 WHERE a = ?", (round_no,)
+                )
+                conn.execute("DELETE FROM R WHERE a = ?", (round_no + 200,))
+                conn.execute(
+                    "INSERT INTO R(a, b) VALUES (?, ?)",
+                    (1000 + round_no, round_no),
+                )
+                round_no += 1
+                if done:
+                    break
+            expected = sorted(
+                conn.execute("SELECT a, b FROM R").fetchall()
+            )
+            engine.apply_materialization(schema)
+            assert sorted(conn.execute("SELECT a, b FROM R").fetchall()) == expected
+            chunks, rows = backend.online_progress()
+            assert chunks == 0 and rows == 0, "progress must reset after cutover"
+            assert backend.store.read_backfill() is None
+            assert transitional_leftovers(backend) == []
+            conn.close()
+        finally:
+            backend.close()
+
+    def test_nontrackable_decompose_moves_online(self, tmp_path):
+        """A DECOMPOSE target has shared auxiliary state, so its stages
+        cannot be chunk-copied; the online path must still move it
+        correctly by staging it whole at cutover."""
+        ds = OnlineDual(str(tmp_path / "decompose.db"))
+        try:
+            ds.execute_ddl(
+                "CREATE SCHEMA VERSION v1 WITH "
+                "CREATE TABLE task(name TEXT, prio INTEGER, author TEXT);"
+            )
+            ds.attach()
+            ds.runmany(
+                "v1",
+                "INSERT INTO task(name, prio, author) VALUES (?, ?, ?)",
+                [(f"t{i}", i % 3, f"a{i % 5}") for i in range(30)],
+            )
+            ds.execute_ddl(
+                "CREATE SCHEMA VERSION v2 FROM v1 WITH "
+                "DECOMPOSE TABLE task INTO task(name, prio), author(author) "
+                "ON FOREIGN KEY author;"
+            )
+            ds.backend.fault_injector = one_shot("materialize:staged")
+            with pytest.raises(InjectedFault):
+                ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            ds.reopen()
+            assert_clean(ds, "decompose-recovered")
+            ds.check("decompose-recovered")
+            ds.run("v2", "INSERT INTO task(name, prio) VALUES (?, ?)", ("new", 9))
+            ds.check("decompose-written")
+        finally:
+            ds.close()
+
+
+class TestGuardsAndDiagnostics:
+    def test_ddl_is_fenced_while_backfill_runs(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            # The engine raises CatalogError for catalog transitions that
+            # would race an in-flight backfill; the flag is set under the
+            # write lock by _materialize_online and cleared after cutover.
+            ds.sq._online_materialize_active = True
+            with pytest.raises(CatalogError, match="backfill is in flight"):
+                ds.sq.execute(
+                    "CREATE SCHEMA VERSION v3 FROM v2 WITH DROP COLUMN c FROM R DEFAULT 0;"
+                )
+            ds.sq._online_materialize_active = False
+            ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            ds.mem.execute("MATERIALIZE 'v2';")
+            ds.check("after-fence")
+        finally:
+            ds.close()
+
+    def test_rpc107_flags_orphaned_transitional_objects(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            crash_mid_backfill(ds)
+            ds.reopen(resume_backfill=None)
+            # Tear out the journal row behind the verifier's back: every
+            # staging table and capture trigger is now an orphan.
+            from repro.persist.store import BACKFILL_TABLE
+
+            ds.backend.connection.execute(f"DELETE FROM {BACKFILL_TABLE}")
+            ds.backend.connection.commit()
+            findings = verify_transitional_objects(
+                ds.backend.connection, ds.backend.store
+            )
+            assert findings, "orphaned transitional objects must be flagged"
+            assert {f.code for f in findings} == {"RPC107"}
+            assert all(f.severity == "error" for f in findings)
+        finally:
+            ds.close()
+
+    def test_memory_engine_falls_back_to_offline(self):
+        engine = repro.InVerDa()
+        engine.execute(
+            "CREATE SCHEMA VERSION v1 WITH CREATE TABLE R(a INTEGER);\n"
+            "CREATE SCHEMA VERSION v2 FROM v1 WITH ADD COLUMN b AS a INTO R;\n"
+            "MATERIALIZE ONLINE 'v2';"
+        )
+        assert any(
+            smo.materialized for smo in engine.genealogy.evolution_smos()
+        )
+
+
+class TestCutoverHook:
+    """``engine.online_cutover_hook`` wraps exactly the cutover window:
+    at entry the backfill is complete but the move has not applied; after
+    the wrapped body the target is materialized.  Callers use it to
+    serialize external state (the soak harness orders its differential
+    oplog with it — MATERIALIZE freezes derived-column payloads, so its
+    position relative to concurrent writes is semantically significant)."""
+
+    def test_hook_wraps_online_cutover(self, tmp_path):
+        from contextlib import contextmanager
+
+        ds = build(tmp_path)
+        try:
+            events = []
+
+            def materialized() -> bool:
+                return any(
+                    smo.materialized for smo in ds.sq.genealogy.evolution_smos()
+                )
+
+            @contextmanager
+            def hook():
+                events.append(("enter", materialized()))
+                yield
+                events.append(("exit", materialized()))
+
+            ds.sq.online_cutover_hook = hook
+            ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            assert events == [("enter", False), ("exit", True)]
+            ds.check("moved-under-hook")
+            assert_clean(ds, "moved-under-hook")
+        finally:
+            ds.close()
+
+    def test_offline_move_never_enters_the_hook(self, tmp_path):
+        ds = build(tmp_path)
+        try:
+            def hook():
+                raise AssertionError("offline MATERIALIZE must not use the hook")
+
+            ds.sq.online_cutover_hook = hook
+            ds.sq.execute("MATERIALIZE 'v2';")
+            ds.check("offline-no-hook")
+        finally:
+            ds.close()
+
+    def test_cutover_fault_propagates_through_the_hook(self, tmp_path):
+        from contextlib import contextmanager
+
+        ds = build(tmp_path)
+        try:
+            entered = []
+
+            @contextmanager
+            def hook():
+                entered.append(True)
+                yield  # the fault below is raised inside this body
+
+            ds.sq.online_cutover_hook = hook
+            ds.backend.fault_injector = one_shot("materialize:staged")
+            with pytest.raises(InjectedFault):
+                ds.sq.execute("MATERIALIZE ONLINE 'v2';")
+            assert entered == [True]
+            ds.reopen()
+            assert_clean(ds, "recovered-through-hook")
+            ds.check("recovered-through-hook")
+        finally:
+            ds.close()
+
+
+class TestParsing:
+    def test_online_roundtrip(self):
+        (stmt,) = parse_script("MATERIALIZE ONLINE 'v2';")
+        assert isinstance(stmt, Materialize)
+        assert stmt.online and stmt.targets == ("v2",)
+        assert stmt.unparse() == "MATERIALIZE ONLINE 'v2';"
+        (again,) = parse_script(stmt.unparse())
+        assert again == stmt
+
+    def test_offline_unchanged(self):
+        (stmt,) = parse_script("MATERIALIZE 'v2';")
+        assert not stmt.online
+        assert stmt.unparse() == "MATERIALIZE 'v2';"

@@ -12,6 +12,7 @@ from repro.core.engine import InVerDa
 from repro.errors import OperationalError
 from repro.soak.probes import (
     PROBE_FACTORIES,
+    AvailabilityProbe,
     BoundedLatencyProbe,
     CleanDropProbe,
     DeltaVerifierProbe,
@@ -48,6 +49,7 @@ class TestRegistry:
             "latency",
             "differential",
             "delta",
+            "availability",
         }
 
     def test_make_probes_defaults_to_all(self):
@@ -175,6 +177,60 @@ class TestBoundedLatency:
         )
         assert report.ok
         assert report.details["ops"] == 1 and report.details["ops_during_ddl"] == 0
+
+
+class TestAvailability:
+    def test_stalled_serving_during_backfill_fires(self):
+        probe = AvailabilityProbe()
+        probe.on_op(0.1, 0.2, "read")  # before the move
+        probe.on_op(4.0, 4.1, "read")  # after the move
+        report = probe.finalize(final_state(backfill_windows=[(1.0, 3.0)]))
+        assert not report.ok
+        assert "serving stalled" in report.violations[0]
+        assert report.details["ops_during_backfill"] == 0
+
+    def test_over_budget_p95_during_backfill_fires(self):
+        probe = AvailabilityProbe()
+        for start in (1.0, 1.4, 1.8, 2.2):
+            probe.on_op(start, start + 0.3, "write")  # 300 ms, budget 100
+        report = probe.finalize(final_state(backfill_windows=[(0.9, 3.0)]))
+        assert not report.ok
+        assert "over the 100 ms budget" in report.violations[0]
+
+    def test_flowing_bounded_ops_pass(self):
+        probe = AvailabilityProbe()
+        for start in (1.0, 1.5, 2.0, 2.5):
+            probe.on_op(start, start + 0.01, "read")
+        report = probe.finalize(final_state(backfill_windows=[(0.9, 3.0)]))
+        assert report.ok
+        assert report.details["ops_during_backfill"] == 4
+
+    def test_short_window_may_contain_no_ops(self):
+        # A one-chunk move can finish between two client ops.
+        probe = AvailabilityProbe()
+        probe.on_op(0.1, 0.2, "read")
+        report = probe.finalize(final_state(backfill_windows=[(1.0, 1.2)]))
+        assert report.ok
+
+    def test_no_backfill_windows_pass_vacuously(self):
+        probe = AvailabilityProbe()
+        probe.on_op(0.1, 0.2, "read")
+        report = probe.finalize(final_state())
+        assert report.ok
+        assert report.details["backfill_windows"] == 0
+
+    def test_barrier_overlapping_ops_are_excluded(self):
+        probe = AvailabilityProbe()
+        probe.on_op(1.0, 1.5, "read")  # slow, but inside a barrier pause
+        for start in (2.0, 2.2, 2.4):
+            probe.on_op(start, start + 0.01, "read")
+        report = probe.finalize(
+            final_state(
+                backfill_windows=[(0.9, 3.0)], barrier_windows=[(0.95, 1.6)]
+            )
+        )
+        assert report.ok
+        assert report.details["ops_during_backfill"] == 3
 
 
 class TestDifferential:
